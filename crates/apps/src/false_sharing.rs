@@ -1,0 +1,61 @@
+//! The false-sharing microkernel: every node repeatedly increments its
+//! own private counter, but the counters are packed `stride` bytes
+//! apart — so for strides below the page size several "private"
+//! counters share a page. Single-writer protocols ping-pong the page on
+//! every increment; twin/diff multiple-writer protocols keep every
+//! increment local. This is the motivating measurement for Munin and
+//! TreadMarks (experiment E5).
+
+use crate::util::u64_at;
+use dsm_core::{Dsm, Dur, GlobalAddr};
+
+/// Microkernel description.
+#[derive(Debug, Clone, Copy)]
+pub struct FalseSharingParams {
+    /// Increments per node.
+    pub iters: usize,
+    /// Byte distance between consecutive nodes' counters.
+    pub stride: usize,
+    /// Modeled work between increments.
+    pub think: Dur,
+}
+
+impl FalseSharingParams {
+    pub fn small() -> Self {
+        FalseSharingParams { iters: 20, stride: 8, think: Dur::micros(10) }
+    }
+
+    pub fn heap_bytes(&self, nodes: usize) -> usize {
+        (nodes * self.stride).max(8)
+    }
+
+    fn counter(&self, node: usize) -> GlobalAddr {
+        u64_at(GlobalAddr(node * self.stride), 0)
+    }
+}
+
+/// Run; returns this node's final counter value (must equal `iters`).
+pub fn run(dsm: &Dsm<'_>, p: &FalseSharingParams) -> u64 {
+    let me = dsm.id().0 as usize;
+    let addr = p.counter(me);
+    dsm.barrier(0);
+    for _ in 0..p.iters {
+        let v = dsm.read_u64(addr);
+        dsm.write_u64(addr, v + 1);
+        dsm.compute(p.think);
+    }
+    dsm.barrier(1);
+    dsm.read_u64(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_disjoint_for_any_stride() {
+        let p = FalseSharingParams { stride: 8, ..FalseSharingParams::small() };
+        assert_ne!(p.counter(0), p.counter(1));
+        assert_eq!(p.counter(3), GlobalAddr(24));
+    }
+}

@@ -1,0 +1,61 @@
+//! E9 micro costs: twin/diff creation and application (the per-release
+//! CPU price of multiple-writer protocols).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsm_mem::PageDiff;
+use dsm_net::XorShift64;
+use std::hint::black_box;
+
+const PAGE: usize = 4096;
+
+fn dirty_page(frac: f64, rng: &mut XorShift64) -> (Vec<u8>, Vec<u8>) {
+    let twin = vec![0u8; PAGE];
+    let mut cur = twin.clone();
+    let dirty = (PAGE as f64 * frac) as usize;
+    let mut touched = 0;
+    while touched < dirty {
+        let i = rng.below(PAGE as u64) as usize;
+        if cur[i] == 0 {
+            cur[i] = (rng.below(255) + 1) as u8;
+            touched += 1;
+        }
+    }
+    (twin, cur)
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diff_create");
+    group.sample_size(30);
+    let mut rng = XorShift64::new(7);
+    for frac in [0.01, 0.1, 0.5, 1.0] {
+        let (twin, cur) = dirty_page(frac, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}%", frac * 100.0)),
+            &(),
+            |b, _| b.iter(|| black_box(PageDiff::create(&twin, &cur))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("diff_apply");
+    group.sample_size(30);
+    for frac in [0.01, 0.5] {
+        let (twin, cur) = dirty_page(frac, &mut rng);
+        let d = PageDiff::create(&twin, &cur);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}%", frac * 100.0)),
+            &(),
+            |b, _| {
+                let mut page = twin.clone();
+                b.iter(|| {
+                    d.apply(&mut page);
+                    black_box(&page);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diff);
+criterion_main!(benches);

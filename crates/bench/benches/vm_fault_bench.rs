@@ -1,0 +1,49 @@
+//! E10 micro costs: real page-fault round trips through the
+//! mprotect/SIGSEGV engine (trap + service thread + protection change
+//! + page copy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsm_vm::{run_vm, VmConfig, VmMode};
+use std::hint::black_box;
+
+fn bench_vm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_engine");
+    group.sample_size(10);
+
+    // 64 remote read faults + 64 upgrade faults per run, 2 nodes.
+    group.bench_function("invalidate_128_faults", |b| {
+        b.iter(|| {
+            let cfg = VmConfig::new(2, 128, VmMode::Invalidate);
+            let res = run_vm(cfg, |node| {
+                if node.id() == 1 {
+                    for p in (0..128).filter(|p| p % 2 == 0) {
+                        let off = p * dsm_vm::os_page_size();
+                        let v = node.read::<u64>(off);
+                        node.write::<u64>(off, v + 1);
+                    }
+                }
+                node.barrier();
+            });
+            black_box(res.stats)
+        })
+    });
+
+    // Twin snapshots + barrier diff merge.
+    group.bench_function("twin_diff_64_pages", |b| {
+        b.iter(|| {
+            let cfg = VmConfig::new(2, 64, VmMode::TwinDiff);
+            let res = run_vm(cfg, |node| {
+                for p in 0..64 {
+                    let off = p * dsm_vm::os_page_size() + node.id() * 8;
+                    node.write::<u64>(off, 1);
+                }
+                node.barrier();
+            });
+            black_box(res.stats)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vm);
+criterion_main!(benches);

@@ -1,0 +1,241 @@
+//! `dsmrun` — command-line driver: run any application kernel under any
+//! protocol/lock/barrier/page-size combination and print the time,
+//! traffic, and verification verdict.
+//!
+//! ```sh
+//! dsmrun --app sor --proto lrc --nodes 8 --page 4096 --size 256
+//! dsmrun --app taskqueue --proto entry --nodes 16
+//! dsmrun --list
+//! ```
+
+use dsm_apps::{fft, gauss, jacobi, matmul, sor, sort, taskqueue, tsp};
+use dsm_core::{
+    BarrierKind, Dsm, DsmConfig, Dur, EntryBinding, LockKind, Placement, ProtocolKind,
+};
+
+struct Args {
+    app: String,
+    proto: ProtocolKind,
+    nodes: u32,
+    page: usize,
+    size: usize,
+    placement: Placement,
+    lock: LockKind,
+    barrier: BarrierKind,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        app: "sor".into(),
+        proto: ProtocolKind::Lrc,
+        nodes: 4,
+        page: 4096,
+        size: 0, // 0 = app default
+        placement: Placement::Block,
+        lock: LockKind::Queue,
+        barrier: BarrierKind::Central,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--list" => {
+                println!("apps:      sor jacobi matmul gauss fft sort taskqueue tsp");
+                println!(
+                    "protocols: {}",
+                    ProtocolKind::ALL.map(|p| p.name()).join(" ")
+                );
+                println!("locks:     queue central");
+                println!("barriers:  central tree2 tree4");
+                println!("placement: block cyclic zero");
+                std::process::exit(0);
+            }
+            "--app" => args.app = val()?,
+            "--proto" => {
+                let v = val()?;
+                args.proto = ProtocolKind::ALL
+                    .into_iter()
+                    .find(|p| p.name() == v)
+                    .ok_or_else(|| format!("unknown protocol {v}"))?;
+            }
+            "--nodes" => args.nodes = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--page" => args.page = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--size" => args.size = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--placement" => {
+                args.placement = match val()?.as_str() {
+                    "block" => Placement::Block,
+                    "cyclic" => Placement::Cyclic,
+                    "zero" => Placement::Zero,
+                    other => return Err(format!("unknown placement {other}")),
+                }
+            }
+            "--lock" => {
+                args.lock = match val()?.as_str() {
+                    "queue" => LockKind::Queue,
+                    "central" => LockKind::Central,
+                    other => return Err(format!("unknown lock {other}")),
+                }
+            }
+            "--barrier" => {
+                args.barrier = match val()?.as_str() {
+                    "central" => BarrierKind::Central,
+                    "tree2" => BarrierKind::Tree(2),
+                    "tree4" => BarrierKind::Tree(4),
+                    other => return Err(format!("unknown barrier {other}")),
+                }
+            }
+            other => return Err(format!("unknown flag {other} (try --list)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let a = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dsmrun: {e}");
+            eprintln!(
+                "usage: dsmrun --app <name> --proto <name> [--nodes N] [--page B] \
+                 [--size S] [--placement P] [--lock K] [--barrier K] | --list"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let base = |heap: usize| {
+        DsmConfig::new(a.nodes, a.proto)
+            .heap_bytes(heap)
+            .page_size(a.page)
+            .placement(a.placement)
+            .lock_kind(a.lock)
+            .barrier_kind(a.barrier)
+            .max_events(2_000_000_000)
+    };
+
+    let (end, stats, verdict) = match a.app.as_str() {
+        "sor" => {
+            let p = sor::SorParams {
+                n: if a.size == 0 { 128 } else { a.size },
+                iters: 3,
+                omega: 1.25,
+            };
+            let res = dsm_core::run_dsm(&base(p.heap_bytes()), move |d: &Dsm<'_>| {
+                sor::run(d, &p)
+            });
+            let ok = res.results.iter().enumerate().all(|(i, &got)| {
+                (got - sor::reference_block_sum(&p, a.nodes as usize, i)).abs() < 1e-9
+            });
+            (res.end_time, res.stats, ok)
+        }
+        "jacobi" => {
+            let p = jacobi::JacobiParams { n: if a.size == 0 { 64 } else { a.size }, iters: 3 };
+            let res = dsm_core::run_dsm(&base(p.heap_bytes()), move |d: &Dsm<'_>| {
+                jacobi::run(d, &p)
+            });
+            let ok = res.results.iter().enumerate().all(|(i, &got)| {
+                (got - jacobi::reference_block_sum(&p, a.nodes as usize, i)).abs() < 1e-9
+            });
+            (res.end_time, res.stats, ok)
+        }
+        "matmul" => {
+            let p = matmul::MatmulParams { n: if a.size == 0 { 64 } else { a.size } };
+            let res = dsm_core::run_dsm(&base(p.heap_bytes()), move |d: &Dsm<'_>| {
+                matmul::run(d, &p)
+            });
+            let ok = res.results.iter().enumerate().all(|(i, &got)| {
+                (got - matmul::reference_block_sum(&p, a.nodes as usize, i)).abs() < 1e-9
+            });
+            (res.end_time, res.stats, ok)
+        }
+        "gauss" => {
+            let p = gauss::GaussParams {
+                n: if a.size == 0 { 64 } else { a.size },
+                row_align: a.page,
+            };
+            let want = gauss::reference(&p);
+            let res = dsm_core::run_dsm(&base(p.heap_bytes()), move |d: &Dsm<'_>| {
+                gauss::run(d, &p)
+            });
+            let ok = res.results.iter().all(|x| {
+                x.iter().zip(&want).all(|(g, w)| (g - w).abs() < 1e-9)
+            });
+            (res.end_time, res.stats, ok)
+        }
+        "fft" => {
+            let s = if a.size == 0 { 64 } else { a.size };
+            assert!(s.is_power_of_two(), "--size must be a power of two for fft");
+            let p = fft::FftParams { rows: s, cols: s };
+            let res = dsm_core::run_dsm(&base(p.heap_bytes()), move |d: &Dsm<'_>| {
+                fft::run(d, &p)
+            });
+            let ok = res.results.iter().enumerate().all(|(i, &got)| {
+                (got - fft::reference_block_sum(&p, a.nodes as usize, i)).abs() < 1e-6
+            });
+            (res.end_time, res.stats, ok)
+        }
+        "sort" => {
+            let p = sort::SortParams { n: if a.size == 0 { 4096 } else { a.size }, seed: 7 };
+            let want = sort::reference(&p);
+            let res = dsm_core::run_dsm(
+                &base(p.heap_bytes(a.nodes as usize)),
+                move |d: &Dsm<'_>| {
+                    sort::run(d, &p);
+                    if d.id().0 == 0 { sort::read_output(d, &p) } else { Vec::new() }
+                },
+            );
+            let ok = res.results[0] == want;
+            (res.end_time, res.stats, ok)
+        }
+        "taskqueue" => {
+            let p = taskqueue::TaskQueueParams {
+                tasks: if a.size == 0 { 64 } else { a.size },
+                task_time: Dur::millis(2),
+                produce_time: Dur::micros(100),
+                poll: Dur::micros(500),
+            };
+            let (lock, addr, len) = p.binding();
+            let mut cfg = base(p.heap_bytes());
+            cfg.bindings = vec![EntryBinding { lock, addr, len }];
+            let (ws, wx) = taskqueue::expected_digest(&p);
+            let res = dsm_core::run_dsm(&cfg, move |d: &Dsm<'_>| taskqueue::run(d, &p));
+            let sum: u64 = res.results.iter().map(|r| r.id_sum).sum();
+            let xor: u64 = res.results.iter().fold(0, |x, r| x ^ r.id_xor);
+            (res.end_time, res.stats, (sum, xor) == (ws, wx))
+        }
+        "tsp" => {
+            let p = tsp::TspParams {
+                cities: if a.size == 0 { 8 } else { a.size },
+                seed: 42,
+                capacity: 1 << 12,
+                poll: Dur::micros(500),
+            };
+            let (lock, addr, len) = p.binding();
+            let mut cfg = base(p.heap_bytes());
+            cfg.bindings = vec![EntryBinding { lock, addr, len }];
+            let want = tsp::reference(&p);
+            let res = dsm_core::run_dsm(&cfg, move |d: &Dsm<'_>| tsp::run(d, &p));
+            let ok = res.results.iter().all(|&b| b == want);
+            (res.end_time, res.stats, ok)
+        }
+        other => {
+            eprintln!("dsmrun: unknown app {other} (try --list)");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "app={} proto={} nodes={} page={}B placement={:?}",
+        a.app,
+        a.proto.name(),
+        a.nodes,
+        a.page,
+        a.placement
+    );
+    println!("virtual completion time: {end}");
+    println!("verification: {}", if verdict { "OK" } else { "MISMATCH" });
+    println!("\n{stats}");
+    if !verdict {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,50 @@
+//! The experiment suite: one function per table/figure in
+//! EXPERIMENTS.md. Each prints its table(s) on stdout in the fixed
+//! format of [`crate::table`]; the `eNN_*` binaries and `run_all` are
+//! thin wrappers.
+
+mod ablation;
+mod memory;
+mod scaling;
+mod sync_and_vm;
+
+pub use ablation::{e13_nic_ablation, e14_lrc_lock_ablation};
+pub use memory::{e05_false_sharing, e06_erc_vs_lrc, e09_diffs};
+pub use scaling::{e01_managers, e02_sor, e03_matmul, e04_gauss, e11_entry_vs_lrc, e12_tsp, e15_fft};
+pub use sync_and_vm::{e07_locks, e08_barriers, e10_vm_costs};
+
+/// Experiment sizing: `Quick` keeps every experiment under ~a second
+/// (used by the smoke tests); `Full` reproduces the report shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Full,
+}
+
+impl Scale {
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Run every experiment at the given scale.
+pub fn run_all(scale: Scale) {
+    e01_managers(scale);
+    e02_sor(scale);
+    e03_matmul(scale);
+    e04_gauss(scale);
+    e05_false_sharing(scale);
+    e06_erc_vs_lrc(scale);
+    e07_locks(scale);
+    e08_barriers(scale);
+    e09_diffs(scale);
+    e10_vm_costs(scale);
+    e11_entry_vs_lrc(scale);
+    e12_tsp(scale);
+    e13_nic_ablation(scale);
+    e14_lrc_lock_ablation(scale);
+    e15_fft(scale);
+}

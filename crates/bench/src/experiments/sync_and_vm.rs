@@ -1,0 +1,166 @@
+//! Synchronization scaling (E7, E8) and the real page-fault engine's
+//! cost breakdown (E10).
+
+use super::Scale;
+use crate::table::{print_table, xs_of, Series};
+use dsm_net::{AppHandle, CostModel, Dur, Sim};
+use dsm_sync::{BarrierKind, LockKind, SyncNode, SyncOp};
+use dsm_vm::{run_vm, VmConfig, VmMode};
+
+type H = AppHandle<SyncOp, ()>;
+
+/// E7 — contended mutual exclusion: time per critical section as nodes
+/// grow, centralized server lock vs distributed queue lock.
+/// Expectation: the queue lock's direct releaser→acquirer handoff
+/// needs one message where the central lock needs three through a
+/// serializing server.
+pub fn e07_locks(scale: Scale) {
+    let ns = scale.pick(vec![2u32, 4], vec![2, 4, 8, 16, 32]);
+    let iters = scale.pick(5u64, 20);
+    let hold = Dur::micros(100);
+    let kinds = [("central", LockKind::Central), ("queue", LockKind::Queue)];
+    let mut time: Vec<Series> = kinds.iter().map(|(l, _)| Series::new(*l)).collect();
+    let mut msgs: Vec<Series> =
+        kinds.iter().map(|(l, _)| Series::new(format!("{l} msgs/cs"))).collect();
+    for &n in &ns {
+        for (ki, &(_, kind)) in kinds.iter().enumerate() {
+            let nodes = SyncNode::cluster(n, kind, BarrierKind::Central);
+            let programs: Vec<_> = (0..n)
+                .map(|_| {
+                    move |h: &H| {
+                        for _ in 0..iters {
+                            h.op(SyncOp::Acquire(1));
+                            h.advance(hold);
+                            h.op(SyncOp::Release(1));
+                        }
+                    }
+                })
+                .collect();
+            let res = Sim::new(nodes, CostModel::lan_1992()).run(programs);
+            let total_cs = (iters * n as u64) as f64;
+            time[ki].push(res.end_time.as_millis_f64() / total_cs);
+            msgs[ki].push(res.stats.total_msgs() as f64 / total_cs);
+        }
+    }
+    print_table(
+        "E7: contended lock — time per critical section (ms)",
+        "nodes",
+        &xs_of(&ns),
+        &time,
+    );
+    print_table(
+        "E7: contended lock — messages per critical section",
+        "nodes",
+        &xs_of(&ns),
+        &msgs,
+    );
+}
+
+/// E8 — barrier latency as nodes grow: centralized manager vs
+/// combining trees. Expectation: the central manager's NIC serializes
+/// N releases (linear); trees pay O(log N) rounds.
+pub fn e08_barriers(scale: Scale) {
+    let ns = scale.pick(vec![2u32, 4, 8], vec![2, 4, 8, 16, 32, 64, 128]);
+    let rounds = scale.pick(3u64, 10);
+    let kinds = [
+        ("central", BarrierKind::Central),
+        ("tree2", BarrierKind::Tree(2)),
+        ("tree4", BarrierKind::Tree(4)),
+    ];
+    let mut series: Vec<Series> = kinds.iter().map(|(l, _)| Series::new(*l)).collect();
+    for &n in &ns {
+        for (ki, &(_, kind)) in kinds.iter().enumerate() {
+            let nodes = SyncNode::cluster(n, LockKind::Queue, kind);
+            let programs: Vec<_> = (0..n)
+                .map(|_| {
+                    move |h: &H| {
+                        for _ in 0..rounds {
+                            h.op(SyncOp::Barrier(0));
+                        }
+                    }
+                })
+                .collect();
+            let res = Sim::new(nodes, CostModel::lan_1992()).run(programs);
+            series[ki].push(res.end_time.as_millis_f64() / rounds as f64);
+        }
+    }
+    print_table(
+        "E8: barrier latency per episode (ms)",
+        "nodes",
+        &xs_of(&ns),
+        &series,
+    );
+}
+
+/// E10 — the real engine's basic costs (cf. TreadMarks' "basic
+/// operation costs" table): measured on this machine with `mprotect` +
+/// SIGSEGV + service threads.
+pub fn e10_vm_costs(scale: Scale) {
+    let pages = scale.pick(16usize, 64);
+    let rounds = scale.pick(2usize, 8);
+
+    // Invalidate mode: remote read faults and write upgrades.
+    let inv = run_vm(VmConfig::new(2, pages, VmMode::Invalidate), |node| {
+        for r in 0..rounds {
+            if node.id() == 1 {
+                // Touch every page homed at node 0: read fault, then
+                // write (upgrade fault).
+                for p in (0..pages).filter(|p| p % 2 == 0) {
+                    let off = p * node_page(node);
+                    let v = node.read::<u64>(off);
+                    node.write::<u64>(off, v + r as u64);
+                }
+            }
+            node.barrier();
+            if node.id() == 0 {
+                // Reclaim them so the next round faults again.
+                for p in (0..pages).filter(|p| p % 2 == 0) {
+                    let off = p * node_page(node);
+                    node.write::<u64>(off, 1);
+                }
+            }
+            node.barrier();
+        }
+    });
+
+    // Twin mode: write faults snapshot twins; barriers create diffs.
+    let twin = run_vm(VmConfig::new(2, pages, VmMode::TwinDiff), |node| {
+        for _ in 0..rounds {
+            for p in 0..pages {
+                let off = p * node_page(node) + node.id() * 8;
+                let v = node.read::<u64>(off);
+                node.write::<u64>(off, v + 1);
+            }
+            node.barrier();
+        }
+    });
+
+    let mut cols = vec![Series::new("invalidate"), Series::new("twin-diff")];
+    let metrics = [
+        "read faults",
+        "write faults",
+        "us/fault",
+        "MB copied",
+        "diffs",
+        "diff bytes",
+    ];
+    for (i, st) in [inv.stats, twin.stats].into_iter().enumerate() {
+        let faults = (st.read_faults + st.write_faults).max(1);
+        cols[i].push(st.read_faults as f64);
+        cols[i].push(st.write_faults as f64);
+        cols[i].push(st.service_ns as f64 / faults as f64 / 1000.0);
+        cols[i].push(st.bytes_copied as f64 / 1.0e6);
+        cols[i].push(st.diffs_created as f64);
+        cols[i].push(st.diff_bytes as f64);
+    }
+    print_table(
+        "E10: real page-fault engine — measured costs (this machine)",
+        "metric",
+        &xs_of(&metrics),
+        &cols,
+    );
+}
+
+fn node_page(_node: &dsm_vm::VmNode<'_>) -> usize {
+    dsm_vm::os_page_size()
+}

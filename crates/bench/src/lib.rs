@@ -1,0 +1,11 @@
+//! # dsm-bench — experiment harnesses and benchmarks
+//!
+//! Regenerates every table/figure of EXPERIMENTS.md: each `eNN_*`
+//! binary prints one experiment; `run_all` prints the whole suite. The
+//! Criterion benches (`cargo bench`) cover the micro costs (diff
+//! machinery, real page faults, kernel throughput).
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{run_all, Scale};

@@ -1,0 +1,161 @@
+//! The application-facing DSM handle: typed reads/writes on the global
+//! shared space, synchronization, and modeled local computation.
+
+use crate::node::{DsmOp, DsmReply};
+use dsm_mem::GlobalAddr;
+use dsm_net::{AppHandle, Dur, NodeId, SimTime};
+use dsm_sync::{BarrierId, LockId};
+
+/// A node program's view of the distributed shared memory.
+///
+/// All methods advance virtual time according to the protocol and cost
+/// model in effect; heavy local computation must be modeled explicitly
+/// with [`Dsm::compute`].
+pub struct Dsm<'a> {
+    h: &'a AppHandle<DsmOp, DsmReply>,
+}
+
+impl<'a> Dsm<'a> {
+    pub fn new(h: &'a AppHandle<DsmOp, DsmReply>) -> Self {
+        Dsm { h }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.h.id()
+    }
+
+    /// Number of nodes in the run.
+    pub fn nodes(&self) -> u32 {
+        self.h.nodes()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.h.now()
+    }
+
+    /// Model `d` of pure local computation.
+    pub fn compute(&self, d: Dur) {
+        self.h.advance(d);
+    }
+
+    // ---------- raw byte access ----------
+
+    /// Read `len` bytes at `addr` (faults as needed).
+    pub fn read_bytes(&self, addr: GlobalAddr, len: usize) -> Vec<u8> {
+        match self.h.op(DsmOp::Read { addr, len }) {
+            DsmReply::Data(d) => d,
+            DsmReply::Unit => unreachable!("read returned unit"),
+        }
+    }
+
+    /// Write `data` at `addr` (faults as needed).
+    pub fn write_bytes(&self, addr: GlobalAddr, data: &[u8]) {
+        self.h.op(DsmOp::Write { addr, data: data.to_vec() });
+    }
+
+    // ---------- typed scalar access ----------
+
+    pub fn read_u64(&self, addr: GlobalAddr) -> u64 {
+        u64::from_le_bytes(self.read_bytes(addr, 8).try_into().unwrap())
+    }
+
+    pub fn write_u64(&self, addr: GlobalAddr, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    pub fn read_i64(&self, addr: GlobalAddr) -> i64 {
+        self.read_u64(addr) as i64
+    }
+
+    pub fn write_i64(&self, addr: GlobalAddr, v: i64) {
+        self.write_u64(addr, v as u64);
+    }
+
+    pub fn read_f64(&self, addr: GlobalAddr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    pub fn write_f64(&self, addr: GlobalAddr, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+
+    // ---------- typed slice access ----------
+
+    /// Read `n` consecutive f64 values starting at `addr`.
+    pub fn read_f64s(&self, addr: GlobalAddr, n: usize) -> Vec<f64> {
+        let bytes = self.read_bytes(addr, n * 8);
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Write consecutive f64 values starting at `addr`.
+    pub fn write_f64s(&self, addr: GlobalAddr, vals: &[f64]) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(addr, &bytes);
+    }
+
+    /// Read `n` consecutive u64 values starting at `addr`.
+    pub fn read_u64s(&self, addr: GlobalAddr, n: usize) -> Vec<u64> {
+        let bytes = self.read_bytes(addr, n * 8);
+        bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Write consecutive u64 values starting at `addr`.
+    pub fn write_u64s(&self, addr: GlobalAddr, vals: &[u64]) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(addr, &bytes);
+    }
+
+    // ---------- synchronization ----------
+
+    /// Acquire a mutual-exclusion lock (a consistency acquire point).
+    pub fn acquire(&self, lock: LockId) {
+        self.h.op(DsmOp::Acquire(lock));
+    }
+
+    /// Release a lock (a consistency release point).
+    pub fn release(&self, lock: LockId) {
+        self.h.op(DsmOp::Release(lock));
+    }
+
+    /// Run `f` under `lock`.
+    pub fn with_lock<T>(&self, lock: LockId, f: impl FnOnce(&Self) -> T) -> T {
+        self.acquire(lock);
+        let out = f(self);
+        self.release(lock);
+        out
+    }
+
+    /// Wait until all nodes reach barrier `id` (a global consistency
+    /// point for most protocols).
+    pub fn barrier(&self, id: BarrierId) {
+        self.h.op(DsmOp::Barrier(id));
+    }
+
+    /// Poll `addr` until the stored u64 satisfies `pred`, spinning with
+    /// `poll` of modeled delay between probes (the classic DSM flag
+    /// spin: local once the copy is cached, refreshed by the coherence
+    /// protocol).
+    pub fn spin_u64_until(&self, addr: GlobalAddr, poll: Dur, pred: impl Fn(u64) -> bool) -> u64 {
+        loop {
+            let v = self.read_u64(addr);
+            if pred(v) {
+                return v;
+            }
+            self.compute(poll);
+        }
+    }
+}

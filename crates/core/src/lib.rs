@@ -1,0 +1,307 @@
+//! # dsm-core — the pagedsm runtime and public API
+//!
+//! Ties the substrates together into a usable distributed shared memory
+//! system: pick a coherence protocol ([`ProtocolKind`]), lock/barrier
+//! algorithms, a page size and placement, and a network cost model;
+//! then run one SPMD program per simulated node against the [`Dsm`]
+//! handle.
+//!
+//! ```
+//! use dsm_core::{DsmConfig, GlobalAddr, ProtocolKind};
+//!
+//! let cfg = DsmConfig::new(4, ProtocolKind::IvyFixed).heap_bytes(1 << 16);
+//! let res = dsm_core::run_dsm(&cfg, |dsm| {
+//!     let me = dsm.id().0 as usize;
+//!     // Each node writes its slot, then everyone sums all slots.
+//!     dsm.write_u64(GlobalAddr(me * 8), me as u64 + 1);
+//!     dsm.barrier(0);
+//!     (0..4).map(|i| dsm.read_u64(GlobalAddr(i * 8))).sum::<u64>()
+//! });
+//! assert!(res.results.iter().all(|&s| s == 1 + 2 + 3 + 4));
+//! ```
+
+mod api;
+mod msg;
+mod node;
+
+pub use api::Dsm;
+pub use msg::CoreMsg;
+pub use node::{DsmNode, DsmOp, DsmReply};
+
+// Re-export the vocabulary types users need.
+pub use dsm_mem::{GlobalAddr, PageGeometry, PageId, Placement, SpaceLayout};
+pub use dsm_net::{CostModel, Dur, NetStats, NodeId, RunResult, SimTime};
+pub use dsm_proto::{EntryBinding, ProtocolKind};
+pub use dsm_sync::{BarrierId, BarrierKind, LockId, LockKind};
+
+/// Full configuration of one DSM machine.
+#[derive(Debug, Clone)]
+pub struct DsmConfig {
+    pub nnodes: u32,
+    pub protocol: ProtocolKind,
+    pub page_size: usize,
+    pub heap_bytes: usize,
+    pub placement: Placement,
+    pub lock_kind: LockKind,
+    pub barrier_kind: BarrierKind,
+    pub model: CostModel,
+    /// Lock ↔ data bindings (entry consistency only).
+    pub bindings: Vec<EntryBinding>,
+    /// Livelock guard for the event kernel.
+    pub max_events: u64,
+}
+
+impl DsmConfig {
+    /// A sensible 1992-flavored default: 4 KiB pages, cyclic placement,
+    /// queue locks, central barrier, LAN cost model, 1 MiB heap.
+    pub fn new(nnodes: u32, protocol: ProtocolKind) -> Self {
+        DsmConfig {
+            nnodes,
+            protocol,
+            page_size: 4096,
+            heap_bytes: 1 << 20,
+            placement: Placement::Cyclic,
+            lock_kind: LockKind::Queue,
+            barrier_kind: BarrierKind::Central,
+            model: CostModel::lan_1992(),
+            bindings: Vec::new(),
+            max_events: 200_000_000,
+        }
+    }
+
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.page_size = bytes;
+        self
+    }
+
+    pub fn heap_bytes(mut self, bytes: usize) -> Self {
+        self.heap_bytes = bytes;
+        self
+    }
+
+    pub fn placement(mut self, p: Placement) -> Self {
+        self.placement = p;
+        self
+    }
+
+    pub fn lock_kind(mut self, k: LockKind) -> Self {
+        self.lock_kind = k;
+        self
+    }
+
+    pub fn barrier_kind(mut self, k: BarrierKind) -> Self {
+        self.barrier_kind = k;
+        self
+    }
+
+    pub fn model(mut self, m: CostModel) -> Self {
+        self.model = m;
+        self
+    }
+
+    pub fn bind(mut self, lock: LockId, addr: GlobalAddr, len: usize) -> Self {
+        self.bindings.push(EntryBinding { lock, addr, len });
+        self
+    }
+
+    pub fn max_events(mut self, n: u64) -> Self {
+        self.max_events = n;
+        self
+    }
+
+    /// The space layout this configuration induces.
+    pub fn layout(&self) -> SpaceLayout {
+        SpaceLayout::new(
+            PageGeometry::new(self.page_size),
+            self.heap_bytes,
+            self.placement,
+            self.nnodes,
+        )
+    }
+
+    /// Build the per-node behaviors.
+    pub fn build_nodes(&self) -> Vec<DsmNode> {
+        let layout = self.layout();
+        (0..self.nnodes)
+            .map(|i| {
+                let me = NodeId(i);
+                let proto = self.protocol.build(me, layout, &self.bindings);
+                DsmNode::new(me, layout, proto, self.lock_kind, self.barrier_kind)
+            })
+            .collect()
+    }
+}
+
+/// Run one SPMD `program` on every node of a DSM machine described by
+/// `cfg`; the per-node return values, the parallel completion time, and
+/// the network traffic come back in the [`RunResult`].
+pub fn run_dsm<V, F>(cfg: &DsmConfig, program: F) -> RunResult<V>
+where
+    V: Send,
+    F: Fn(&Dsm<'_>) -> V + Send + Sync,
+{
+    let nodes = cfg.build_nodes();
+    let program = &program;
+    let programs: Vec<_> = (0..cfg.nnodes)
+        .map(|_| {
+            move |h: &dsm_net::AppHandle<DsmOp, DsmReply>| {
+                let dsm = Dsm::new(h);
+                program(&dsm)
+            }
+        })
+        .collect();
+    dsm_net::Sim::new(nodes, cfg.model.clone())
+        .max_events(cfg.max_events)
+        .run(programs)
+}
+
+/// Run with one distinct program per node (MPMD); `programs.len()` must
+/// equal the node count.
+pub fn run_dsm_mpmd<V, F>(cfg: &DsmConfig, programs: Vec<F>) -> RunResult<V>
+where
+    V: Send,
+    F: FnOnce(&Dsm<'_>) -> V + Send,
+{
+    let nodes = cfg.build_nodes();
+    let programs: Vec<_> = programs
+        .into_iter()
+        .map(|p| {
+            move |h: &dsm_net::AppHandle<DsmOp, DsmReply>| {
+                let dsm = Dsm::new(h);
+                p(&dsm)
+            }
+        })
+        .collect();
+    dsm_net::Sim::new(nodes, cfg.model.clone())
+        .max_events(cfg.max_events)
+        .run(programs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn protos() -> Vec<ProtocolKind> {
+        ProtocolKind::ALL.to_vec()
+    }
+
+    #[test]
+    fn single_node_read_write_roundtrip() {
+        for proto in protos() {
+            let cfg = DsmConfig::new(1, proto).heap_bytes(1 << 14).page_size(256);
+            let res = run_dsm(&cfg, |dsm| {
+                dsm.write_u64(GlobalAddr(16), 42);
+                dsm.write_f64(GlobalAddr(512), 2.5);
+                (dsm.read_u64(GlobalAddr(16)), dsm.read_f64(GlobalAddr(512)))
+            });
+            assert_eq!(res.results[0], (42, 2.5), "{proto}");
+        }
+    }
+
+    #[test]
+    fn barrier_then_read_sees_remote_writes() {
+        for proto in protos() {
+            let n = 4;
+            let cfg = DsmConfig::new(n, proto).heap_bytes(1 << 14).page_size(256);
+            let res = run_dsm(&cfg, |dsm| {
+                let me = dsm.id().0 as usize;
+                dsm.write_u64(GlobalAddr(me * 8), (me as u64 + 1) * 10);
+                dsm.barrier(0);
+                (0..n as usize)
+                    .map(|i| dsm.read_u64(GlobalAddr(i * 8)))
+                    .sum::<u64>()
+            });
+            for (i, &s) in res.results.iter().enumerate() {
+                assert_eq!(s, 10 + 20 + 30 + 40, "{proto} node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn lock_protected_counter_is_atomic() {
+        for proto in protos() {
+            let n = 4;
+            let iters = 5u64;
+            let mut cfg = DsmConfig::new(n, proto).heap_bytes(1 << 14).page_size(256);
+            cfg.bindings = vec![EntryBinding {
+                lock: 7,
+                addr: GlobalAddr(0),
+                len: 8,
+            }];
+            let res = run_dsm(&cfg, |dsm| {
+                for _ in 0..iters {
+                    dsm.acquire(7);
+                    let v = dsm.read_u64(GlobalAddr(0));
+                    dsm.write_u64(GlobalAddr(0), v + 1);
+                    dsm.release(7);
+                }
+                dsm.barrier(0);
+                dsm.read_u64(GlobalAddr(0))
+            });
+            for (i, &v) in res.results.iter().enumerate() {
+                assert_eq!(v, n as u64 * iters, "{proto} node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_page_access_works_everywhere() {
+        for proto in protos() {
+            let cfg = DsmConfig::new(2, proto).heap_bytes(1 << 14).page_size(256);
+            let res = run_dsm(&cfg, |dsm| {
+                if dsm.id().0 == 0 {
+                    let vals: Vec<f64> = (0..64).map(|i| i as f64).collect();
+                    // 512 bytes spanning two pages, starting mid-page.
+                    dsm.write_f64s(GlobalAddr(128), &vals);
+                }
+                dsm.barrier(0);
+                dsm.read_f64s(GlobalAddr(128), 64)
+            });
+            let expect: Vec<f64> = (0..64).map(|i| i as f64).collect();
+            assert_eq!(res.results[1], expect, "{proto}");
+        }
+    }
+
+    #[test]
+    fn producer_consumer_flag_under_sc_protocols() {
+        // Racy flag synchronization: only the sequentially consistent
+        // protocols promise this works.
+        for proto in protos().into_iter().filter(|p| p.sequentially_consistent()) {
+            let cfg = DsmConfig::new(2, proto).heap_bytes(1 << 14).page_size(256);
+            let res = run_dsm(&cfg, |dsm| {
+                let data = GlobalAddr(0);
+                let flag = GlobalAddr(8); // same page: write order preserved
+                if dsm.id().0 == 0 {
+                    dsm.write_u64(data, 777);
+                    dsm.write_u64(flag, 1);
+                    0
+                } else {
+                    dsm.spin_u64_until(flag, Dur::micros(200), |v| v == 1);
+                    dsm.read_u64(data)
+                }
+            });
+            assert_eq!(res.results[1], 777, "{proto}");
+        }
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let run = || {
+            let cfg =
+                DsmConfig::new(3, ProtocolKind::Lrc).heap_bytes(1 << 14).page_size(256);
+            let res = run_dsm(&cfg, |dsm| {
+                let me = dsm.id().0 as usize;
+                for it in 0..3u64 {
+                    dsm.with_lock(1, |d| {
+                        let v = d.read_u64(GlobalAddr(64));
+                        d.write_u64(GlobalAddr(64), v + me as u64 + it);
+                    });
+                    dsm.barrier(0);
+                }
+                dsm.read_u64(GlobalAddr(64))
+            });
+            (res.end_time, res.stats.total_msgs(), res.stats.total_bytes())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,29 @@
+//! The combined wire message: coherence traffic plus synchronization
+//! traffic, multiplexed over one simulated network.
+
+use dsm_net::Payload;
+use dsm_proto::{Piggy, ProtoMsg};
+use dsm_sync::SyncMsg;
+
+/// Everything that travels between DSM nodes.
+#[derive(Debug)]
+pub enum CoreMsg {
+    Proto(ProtoMsg),
+    Sync(SyncMsg<Piggy>),
+}
+
+impl Payload for CoreMsg {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            CoreMsg::Proto(m) => m.wire_bytes(),
+            CoreMsg::Sync(m) => m.wire_bytes(),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            CoreMsg::Proto(m) => m.kind(),
+            CoreMsg::Sync(m) => m.kind(),
+        }
+    }
+}

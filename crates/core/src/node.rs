@@ -1,0 +1,563 @@
+//! The per-node DSM runtime: owns the frame table, the coherence
+//! protocol, and the synchronization engines, and implements the
+//! simulator's [`NodeBehavior`] by routing faults, messages, and sync
+//! events between them.
+
+use crate::msg::CoreMsg;
+use dsm_mem::{FrameTable, GlobalAddr, SpaceLayout};
+use dsm_net::{Ctx, Dur, NodeBehavior, NodeId, OpOutcome};
+use dsm_proto::{Piggy, ProtoEvent, ProtoIo, Protocol, WriteOutcome};
+use dsm_sync::{
+    BarrierEngine, BarrierEvent, BarrierId, LockEngine, LockEvent, LockId, ReleaseAction,
+    SyncIo, SyncMsg,
+};
+
+/// Operations the application can issue against the shared space.
+#[derive(Debug)]
+pub enum DsmOp {
+    Read { addr: GlobalAddr, len: usize },
+    Write { addr: GlobalAddr, data: Vec<u8> },
+    Acquire(LockId),
+    Release(LockId),
+    Barrier(BarrierId),
+}
+
+/// Replies to [`DsmOp`]s.
+#[derive(Debug)]
+pub enum DsmReply {
+    Data(Vec<u8>),
+    Unit,
+}
+
+/// What the parked application operation is waiting for.
+///
+/// Reads and writes larger than a page are performed *piecewise*, one
+/// page at a time, retiring each page's protocol transaction before
+/// faulting on the next — mirroring real per-word loads/stores. An
+/// all-or-nothing multi-page access would otherwise hold one page's
+/// transaction open while waiting for another, deadlocking single-copy
+/// protocols (hold-and-wait).
+#[derive(Debug)]
+enum Pending {
+    None,
+    Read { addr: GlobalAddr, buf: Vec<u8>, pos: usize, faults: u32 },
+    Write { addr: GlobalAddr, data: Vec<u8>, pos: usize, faults: u32 },
+    AsyncWrite { faults: u32 },
+    Acquire(LockId),
+    ReleaseFlush(LockId),
+    BarrierFlush(BarrierId),
+    BarrierWait(#[allow(dead_code)] BarrierId),
+}
+
+/// One DSM node: protocol + sync engines + local memory.
+pub struct DsmNode {
+    me: NodeId,
+    nnodes: u32,
+    layout: SpaceLayout,
+    frames: FrameTable,
+    proto: Box<dyn Protocol>,
+    locks: LockEngine<Piggy>,
+    barriers: BarrierEngine<Piggy>,
+    pending: Pending,
+    /// The current op faulted at least once → tell the protocol when it
+    /// retires (single-writer protocols release deferred requests then).
+    faulted: bool,
+}
+
+/// Adapter giving the protocol and sync engines access to the kernel
+/// context under their own narrow traits.
+struct Io<'a, 'b> {
+    ctx: &'a mut Ctx<'b, DsmNode>,
+}
+
+impl ProtoIo for Io<'_, '_> {
+    fn me(&self) -> NodeId {
+        self.ctx.me()
+    }
+    fn nodes(&self) -> u32 {
+        self.ctx.nodes()
+    }
+    fn send(&mut self, dst: NodeId, msg: dsm_proto::ProtoMsg) {
+        self.ctx.send(dst, CoreMsg::Proto(msg));
+    }
+    fn model(&self) -> &dsm_net::CostModel {
+        self.ctx.model()
+    }
+}
+
+impl SyncIo<Piggy> for Io<'_, '_> {
+    fn me(&self) -> NodeId {
+        self.ctx.me()
+    }
+    fn nodes(&self) -> u32 {
+        self.ctx.nodes()
+    }
+    fn send(&mut self, dst: NodeId, msg: SyncMsg<Piggy>) {
+        self.ctx.send(dst, CoreMsg::Sync(msg));
+    }
+}
+
+impl DsmNode {
+    pub fn new(
+        me: NodeId,
+        layout: SpaceLayout,
+        proto: Box<dyn Protocol>,
+        lock_kind: dsm_sync::LockKind,
+        barrier_kind: dsm_sync::BarrierKind,
+    ) -> Self {
+        let nnodes = layout.nnodes();
+        DsmNode {
+            me,
+            nnodes,
+            layout,
+            frames: FrameTable::new(layout.geometry),
+            proto,
+            locks: LockEngine::new(lock_kind, me, nnodes),
+            barriers: BarrierEngine::new(barrier_kind, me, nnodes),
+            pending: Pending::None,
+            faulted: false,
+        }
+    }
+
+    /// Name of the coherence protocol this node runs.
+    pub fn protocol_name(&self) -> &'static str {
+        self.proto.name()
+    }
+
+    fn retire_if_faulted(&mut self, ctx: &mut Ctx<'_, Self>) {
+        if self.faulted {
+            self.faulted = false;
+            let mut io = Io { ctx };
+            self.proto.op_retired(&mut io, &mut self.frames);
+        }
+    }
+
+    /// Cost charged for a locally satisfied access of `len` bytes.
+    fn access_cost(ctx: &Ctx<'_, Self>, len: usize) -> Dur {
+        ctx.model().mem_copy(len)
+    }
+
+    /// Cost charged when a fault completes (trap + install).
+    fn install_cost(&self, ctx: &Ctx<'_, Self>) -> Dur {
+        self.proto
+            .install_cost(ctx.model(), self.layout.geometry.page_size())
+    }
+
+    // ---------- lock / barrier plumbing ----------
+
+    fn do_release(&mut self, ctx: &mut Ctx<'_, Self>, lock: LockId) {
+        let action = self.locks.release(lock);
+        let mut io = Io { ctx };
+        match action {
+            ReleaseAction::Local => {}
+            ReleaseAction::GrantTo { to, reqinfo } => {
+                let piggy =
+                    self.proto
+                        .grant_piggy(&mut io, &mut self.frames, lock, to, &reqinfo);
+                self.locks.grant(&mut io, lock, to, piggy);
+            }
+            ReleaseAction::ToServer => {
+                let piggy = self.proto.release_piggy(&mut io, &mut self.frames, lock);
+                self.locks.send_release(&mut io, lock, piggy);
+            }
+        }
+    }
+
+    /// Arrive at `barrier`; returns true if this node was released
+    /// synchronously (it was the last arriver at the root).
+    fn do_barrier_arrive(&mut self, ctx: &mut Ctx<'_, Self>, barrier: BarrierId) -> bool {
+        let mut events = Vec::new();
+        {
+            let mut io = Io { ctx };
+            let piggy = self.proto.barrier_piggy(&mut io, &mut self.frames);
+            self.barriers.arrive(&mut io, barrier, piggy, &mut events);
+        }
+        self.handle_barrier_events(ctx, events)
+    }
+
+    /// Process barrier engine events; returns true if this node was
+    /// released.
+    fn handle_barrier_events(
+        &mut self,
+        ctx: &mut Ctx<'_, Self>,
+        events: Vec<BarrierEvent<Piggy>>,
+    ) -> bool {
+        let mut released = false;
+        for ev in events {
+            match ev {
+                BarrierEvent::AllArrived { id, contributions } => {
+                    let mut ev2 = Vec::new();
+                    {
+                        let mut io = Io { ctx };
+                        let releases = self.proto.merge_barrier(
+                            &mut io,
+                            &mut self.frames,
+                            contributions,
+                            self.nnodes,
+                        );
+                        self.barriers.release(&mut io, id, releases, &mut ev2);
+                    }
+                    if self.handle_barrier_events(ctx, ev2) {
+                        released = true;
+                    }
+                }
+                BarrierEvent::Released { piggy, .. } => {
+                    let mut io = Io { ctx };
+                    self.proto
+                        .on_barrier_released(&mut io, &mut self.frames, piggy);
+                    released = true;
+                }
+            }
+        }
+        released
+    }
+
+    fn handle_lock_events(&mut self, ctx: &mut Ctx<'_, Self>, events: Vec<LockEvent<Piggy>>) {
+        for ev in events {
+            match ev {
+                LockEvent::Acquired { lock, piggy } => {
+                    {
+                        let mut io = Io { ctx };
+                        self.proto.on_acquired(&mut io, &mut self.frames, lock, piggy);
+                    }
+                    match std::mem::replace(&mut self.pending, Pending::None) {
+                        Pending::Acquire(l) if l == lock => {
+                            ctx.complete_op(DsmReply::Unit);
+                        }
+                        other => panic!(
+                            "{}: lock {lock} acquired while pending {other:?}",
+                            self.me
+                        ),
+                    }
+                }
+                LockEvent::GrantNeeded { lock, to, reqinfo } => {
+                    let mut io = Io { ctx };
+                    let piggy = self.proto.grant_piggy(
+                        &mut io,
+                        &mut self.frames,
+                        lock,
+                        to,
+                        &reqinfo,
+                    );
+                    self.locks.grant(&mut io, lock, to, piggy);
+                }
+            }
+        }
+    }
+
+    // ---------- fault-retry state machine ----------
+
+    /// Length of the piece of `[addr+pos, addr+len)` lying on one page.
+    fn piece_len(&self, addr: GlobalAddr, pos: usize, len: usize) -> usize {
+        let g = self.layout.geometry;
+        let a = addr.offset(pos);
+        (g.page_size() - g.offset_in_page(a)).min(len - pos)
+    }
+
+    /// Drive the parked read/write forward, one page piece at a time.
+    /// Completes the op when the last piece lands; otherwise leaves the
+    /// op parked with a fault in flight.
+    fn retry_pending_access(&mut self, ctx: &mut Ctx<'_, Self>) {
+        loop {
+            match std::mem::replace(&mut self.pending, Pending::None) {
+                Pending::Read { addr, mut buf, mut pos, mut faults } => {
+                    let len = buf.len();
+                    if pos >= len {
+                        let cost = self.install_cost(ctx) * faults as u64
+                            + Self::access_cost(ctx, len);
+                        ctx.complete_op_after(DsmReply::Data(buf), cost);
+                        self.retire_if_faulted(ctx);
+                        return;
+                    }
+                    let n = self.piece_len(addr, pos, len);
+                    let a = addr.offset(pos);
+                    if self.frames.try_read(a, &mut buf[pos..pos + n]) {
+                        pos += n;
+                        self.pending = Pending::Read { addr, buf, pos, faults };
+                        // Retire this page's transaction before touching
+                        // the next page (no hold-and-wait).
+                        self.retire_if_faulted(ctx);
+                        continue;
+                    }
+                    faults += 1;
+                    self.faulted = true;
+                    let page = self.layout.geometry.page_of(a);
+                    let resolved = {
+                        let mut io = Io { ctx };
+                        self.proto.read_fault(&mut io, &mut self.frames, page)
+                    };
+                    self.pending = Pending::Read { addr, buf, pos, faults };
+                    if !resolved {
+                        return;
+                    }
+                }
+                Pending::Write { addr, data, mut pos, mut faults } => {
+                    let len = data.len();
+                    if pos >= len {
+                        let cost = self.install_cost(ctx) * faults as u64
+                            + Self::access_cost(ctx, len);
+                        ctx.complete_op_after(DsmReply::Unit, cost);
+                        self.retire_if_faulted(ctx);
+                        return;
+                    }
+                    let n = self.piece_len(addr, pos, len);
+                    let a = addr.offset(pos);
+                    if self.frames.try_write(a, &data[pos..pos + n]) {
+                        pos += n;
+                        self.pending = Pending::Write { addr, data, pos, faults };
+                        self.retire_if_faulted(ctx);
+                        continue;
+                    }
+                    faults += 1;
+                    self.faulted = true;
+                    // Offer the whole remainder to the protocol:
+                    // update-style protocols take it over entirely.
+                    let outcome = {
+                        let mut io = Io { ctx };
+                        self.proto
+                            .write_op(&mut io, &mut self.frames, a, &data[pos..])
+                    };
+                    match outcome {
+                        WriteOutcome::Ready => {
+                            self.pending = Pending::Write { addr, data, pos, faults };
+                        }
+                        WriteOutcome::Faulted(_) => {
+                            self.pending = Pending::Write { addr, data, pos, faults };
+                            return;
+                        }
+                        WriteOutcome::Done => {
+                            let cost = self.install_cost(ctx) * faults as u64
+                                + Self::access_cost(ctx, len);
+                            ctx.complete_op_after(DsmReply::Unit, cost);
+                            self.retire_if_faulted(ctx);
+                            return;
+                        }
+                        WriteOutcome::Async => {
+                            self.pending = Pending::AsyncWrite { faults };
+                            return;
+                        }
+                    }
+                }
+                other => panic!("{}: access retry while pending {other:?}", self.me),
+            }
+        }
+    }
+
+    fn pump_proto_events(&mut self, ctx: &mut Ctx<'_, Self>, events: Vec<ProtoEvent>) {
+        for ev in events {
+            match ev {
+                ProtoEvent::PageReady(_) => {
+                    self.retry_pending_access(ctx);
+                }
+                ProtoEvent::WriteDone => {
+                    match std::mem::replace(&mut self.pending, Pending::None) {
+                        Pending::AsyncWrite { faults } => {
+                            let cost = Self::access_cost(ctx, 0)
+                                + self.install_cost(ctx) * faults.saturating_sub(1) as u64;
+                            ctx.complete_op_after(DsmReply::Unit, cost);
+                            self.retire_if_faulted(ctx);
+                        }
+                        other => {
+                            panic!("{}: WriteDone while pending {other:?}", self.me)
+                        }
+                    }
+                }
+                ProtoEvent::FlushDone => {
+                    match std::mem::replace(&mut self.pending, Pending::None) {
+                        Pending::ReleaseFlush(lock) => {
+                            self.do_release(ctx, lock);
+                            ctx.complete_op(DsmReply::Unit);
+                        }
+                        Pending::BarrierFlush(id) => {
+                            if self.do_barrier_arrive(ctx, id) {
+                                ctx.complete_op(DsmReply::Unit);
+                            } else {
+                                self.pending = Pending::BarrierWait(id);
+                            }
+                        }
+                        other => {
+                            panic!("{}: FlushDone while pending {other:?}", self.me)
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl NodeBehavior for DsmNode {
+    type Msg = CoreMsg;
+    type Op = DsmOp;
+    type Reply = DsmReply;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let mut io = Io { ctx };
+        self.proto.on_start(&mut io, &mut self.frames);
+    }
+
+    fn describe(&self) -> String {
+        format!("{} pending={:?}", self.proto.name(), self.pending)
+    }
+
+    fn on_op(&mut self, ctx: &mut Ctx<'_, Self>, op: DsmOp) -> OpOutcome<DsmReply> {
+        debug_assert!(
+            matches!(self.pending, Pending::None),
+            "{}: op while pending {:?}",
+            self.me,
+            self.pending
+        );
+        match op {
+            DsmOp::Read { addr, len } => {
+                assert!(
+                    self.layout.in_bounds(addr, len),
+                    "read [{addr}, +{len}) out of bounds"
+                );
+                let mut buf = vec![0u8; len];
+                if self.frames.try_read(addr, &mut buf) {
+                    return OpOutcome::DoneAfter(
+                        DsmReply::Data(buf),
+                        Self::access_cost(ctx, len),
+                    );
+                }
+                self.pending = Pending::Read { addr, buf, pos: 0, faults: 0 };
+                self.retry_pending_access_entry(ctx)
+            }
+            DsmOp::Write { addr, data } => {
+                assert!(
+                    self.layout.in_bounds(addr, data.len()),
+                    "write [{addr}, +{}) out of bounds",
+                    data.len()
+                );
+                let len = data.len();
+                if self.frames.try_write(addr, &data) {
+                    return OpOutcome::DoneAfter(
+                        DsmReply::Unit,
+                        Self::access_cost(ctx, len),
+                    );
+                }
+                self.pending = Pending::Write { addr, data, pos: 0, faults: 0 };
+                self.retry_pending_access_entry(ctx)
+            }
+            DsmOp::Acquire(lock) => {
+                let reqinfo = self.proto.acquire_reqinfo(&mut self.frames, lock);
+                let immediate = {
+                    let mut io = Io { ctx };
+                    self.locks.acquire(&mut io, lock, reqinfo)
+                };
+                match immediate {
+                    Some(piggy) => {
+                        let mut io = Io { ctx };
+                        self.proto.on_acquired(&mut io, &mut self.frames, lock, piggy);
+                        OpOutcome::Done(DsmReply::Unit)
+                    }
+                    None => {
+                        self.pending = Pending::Acquire(lock);
+                        OpOutcome::Blocked
+                    }
+                }
+            }
+            DsmOp::Release(lock) => {
+                let flushed = {
+                    let mut io = Io { ctx };
+                    self.proto.pre_release(&mut io, &mut self.frames, Some(lock))
+                };
+                if flushed {
+                    self.do_release(ctx, lock);
+                    OpOutcome::Done(DsmReply::Unit)
+                } else {
+                    self.pending = Pending::ReleaseFlush(lock);
+                    OpOutcome::Blocked
+                }
+            }
+            DsmOp::Barrier(id) => {
+                if self.nnodes == 1 {
+                    // Still a consistency point for the protocol.
+                    let mut io = Io { ctx };
+                    let _ = self.proto.pre_release(&mut io, &mut self.frames, None);
+                    return OpOutcome::Done(DsmReply::Unit);
+                }
+                let flushed = {
+                    let mut io = Io { ctx };
+                    self.proto.pre_release(&mut io, &mut self.frames, None)
+                };
+                if flushed {
+                    if self.do_barrier_arrive(ctx, id) {
+                        OpOutcome::Done(DsmReply::Unit)
+                    } else {
+                        self.pending = Pending::BarrierWait(id);
+                        OpOutcome::Blocked
+                    }
+                } else {
+                    self.pending = Pending::BarrierFlush(id);
+                    OpOutcome::Blocked
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: CoreMsg) {
+        match msg {
+            CoreMsg::Proto(m) => {
+                let mut events = Vec::new();
+                {
+                    let mut io = Io { ctx };
+                    self.proto
+                        .on_message(&mut io, &mut self.frames, from, m, &mut events);
+                }
+                self.pump_proto_events(ctx, events);
+            }
+            CoreMsg::Sync(m) => match m {
+                m @ (SyncMsg::LockReq { .. }
+                | SyncMsg::LockFwd { .. }
+                | SyncMsg::LockGrant { .. }
+                | SyncMsg::LockRel { .. }) => {
+                    let mut events = Vec::new();
+                    {
+                        let mut io = Io { ctx };
+                        self.locks.on_message(&mut io, from, m, &mut events);
+                    }
+                    self.handle_lock_events(ctx, events);
+                }
+                m @ (SyncMsg::BarArrive { .. } | SyncMsg::BarRelease { .. }) => {
+                    let mut events = Vec::new();
+                    {
+                        let mut io = Io { ctx };
+                        self.barriers.on_message(&mut io, from, m, &mut events);
+                    }
+                    if self.handle_barrier_events(ctx, events) {
+                        match std::mem::replace(&mut self.pending, Pending::None) {
+                            Pending::BarrierWait(_) => ctx.complete_op(DsmReply::Unit),
+                            other => panic!(
+                                "{}: barrier released while pending {other:?}",
+                                self.me
+                            ),
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+impl DsmNode {
+    /// First dispatch of a faulting access from `on_op`: drive the same
+    /// retry machine, then translate the result into an [`OpOutcome`].
+    fn retry_pending_access_entry(
+        &mut self,
+        ctx: &mut Ctx<'_, Self>,
+    ) -> OpOutcome<DsmReply> {
+        // The retry machine completes via ctx.complete_op_* when it can;
+        // from on_op we must instead return Blocked and let the kernel
+        // deliver the queued resume. complete_op_after() requires a
+        // parked op, which is exactly the state during on_op's Blocked
+        // return — but the kernel asserts ordering, so emulate: run the
+        // machine with a flag and convert.
+        //
+        // Simpler correct approach: mark as blocked; if the protocol
+        // resolved everything synchronously the machine will have called
+        // complete_op_after already, which the kernel driver tolerates
+        // (pending_reply set before Blocked is returned).
+        self.retry_pending_access(ctx);
+        OpOutcome::Blocked
+    }
+}

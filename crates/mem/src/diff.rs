@@ -1,0 +1,210 @@
+//! Twin/diff machinery for multiple-writer protocols (Munin,
+//! TreadMarks).
+//!
+//! Before a node's first write to a page in an interval, the protocol
+//! snapshots the page (the *twin*). At release/flush time the twin is
+//! compared against the current contents and the changed byte runs are
+//! encoded as a [`PageDiff`], which is what travels on the wire instead
+//! of the whole page. Two nodes writing disjoint parts of a page
+//! produce disjoint diffs that can be applied in any order — the cure
+//! for false-sharing ping-pong.
+
+/// One contiguous run of changed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Run {
+    offset: u32,
+    bytes: Vec<u8>,
+}
+
+/// A set of changed byte runs for one page, ordered by offset.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PageDiff {
+    runs: Vec<Run>,
+}
+
+/// Two adjacent runs closer than this are merged: each run costs a
+/// header on the wire, so tiny gaps are cheaper to ship than to skip.
+const MERGE_GAP: usize = 8;
+
+/// Modeled wire overhead per run (offset + length fields).
+const RUN_HEADER_BYTES: usize = 4;
+
+impl PageDiff {
+    /// Compare `twin` (the pristine snapshot) with `current` and encode
+    /// the changed runs. Both slices must be the same length.
+    pub fn create(twin: &[u8], current: &[u8]) -> PageDiff {
+        assert_eq!(twin.len(), current.len(), "twin/page size mismatch");
+        let mut runs: Vec<Run> = Vec::new();
+        let mut i = 0;
+        let n = twin.len();
+        while i < n {
+            if twin[i] == current[i] {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < n && twin[i] != current[i] {
+                i += 1;
+            }
+            // Merge with the previous run if the clean gap is tiny.
+            if let Some(last) = runs.last_mut() {
+                let last_end = last.offset as usize + last.bytes.len();
+                if start - last_end < MERGE_GAP {
+                    last.bytes.extend_from_slice(&current[last_end..i]);
+                    continue;
+                }
+            }
+            runs.push(Run { offset: start as u32, bytes: current[start..i].to_vec() });
+        }
+        PageDiff { runs }
+    }
+
+    /// Overwrite `page` with this diff's runs.
+    pub fn apply(&self, page: &mut [u8]) {
+        for run in &self.runs {
+            let off = run.offset as usize;
+            page[off..off + run.bytes.len()].copy_from_slice(&run.bytes);
+        }
+    }
+
+    /// True when no bytes changed.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of encoded runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total changed bytes carried.
+    pub fn changed_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.bytes.len()).sum()
+    }
+
+    /// Modeled wire size: per-run header plus data.
+    pub fn wire_bytes(&self) -> usize {
+        self.runs
+            .iter()
+            .map(|r| RUN_HEADER_BYTES + r.bytes.len())
+            .sum::<usize>()
+    }
+
+    /// Do two diffs touch any common byte? Multiple-writer protocols
+    /// rely on data-race-free programs, where concurrent diffs of the
+    /// same page never overlap; this is the checkable version of that
+    /// assumption.
+    pub fn overlaps(&self, other: &PageDiff) -> bool {
+        let mut a = self.runs.iter().peekable();
+        let mut b = other.runs.iter().peekable();
+        while let (Some(x), Some(y)) = (a.peek(), b.peek()) {
+            let (xs, xe) = (x.offset as usize, x.offset as usize + x.bytes.len());
+            let (ys, ye) = (y.offset as usize, y.offset as usize + y.bytes.len());
+            if xs < ye && ys < xe {
+                return true;
+            }
+            if xe <= ys {
+                a.next();
+            } else {
+                b.next();
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_pages_give_empty_diff() {
+        let page = vec![7u8; 128];
+        let d = PageDiff::create(&page, &page);
+        assert!(d.is_empty());
+        assert_eq!(d.wire_bytes(), 0);
+        assert_eq!(d.changed_bytes(), 0);
+    }
+
+    #[test]
+    fn roundtrip_applies_changes() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        cur[3] = 1;
+        cur[40..44].copy_from_slice(&[9, 9, 9, 9]);
+        let d = PageDiff::create(&twin, &cur);
+        let mut page = twin.clone();
+        d.apply(&mut page);
+        assert_eq!(page, cur);
+    }
+
+    #[test]
+    fn nearby_changes_merge_into_one_run() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        cur[10] = 1;
+        cur[14] = 2; // gap of 3 clean bytes < MERGE_GAP
+        let d = PageDiff::create(&twin, &cur);
+        assert_eq!(d.run_count(), 1);
+        let mut page = twin.clone();
+        d.apply(&mut page);
+        assert_eq!(page, cur);
+    }
+
+    #[test]
+    fn distant_changes_stay_separate() {
+        let twin = vec![0u8; 256];
+        let mut cur = twin.clone();
+        cur[0] = 1;
+        cur[200] = 2;
+        let d = PageDiff::create(&twin, &cur);
+        assert_eq!(d.run_count(), 2);
+        assert_eq!(d.changed_bytes(), 2);
+        assert_eq!(d.wire_bytes(), 2 * (RUN_HEADER_BYTES + 1));
+    }
+
+    #[test]
+    fn disjoint_diffs_commute() {
+        let twin = vec![0u8; 128];
+        let mut a = twin.clone();
+        a[0..8].copy_from_slice(&[1; 8]);
+        let mut b = twin.clone();
+        b[64..72].copy_from_slice(&[2; 8]);
+        let da = PageDiff::create(&twin, &a);
+        let db = PageDiff::create(&twin, &b);
+        assert!(!da.overlaps(&db));
+
+        let mut ab = twin.clone();
+        da.apply(&mut ab);
+        db.apply(&mut ab);
+        let mut ba = twin.clone();
+        db.apply(&mut ba);
+        da.apply(&mut ba);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let twin = vec![0u8; 32];
+        let mut a = twin.clone();
+        a[4..10].fill(1);
+        let mut b = twin.clone();
+        b[8..12].fill(2);
+        let da = PageDiff::create(&twin, &a);
+        let db = PageDiff::create(&twin, &b);
+        assert!(da.overlaps(&db));
+        assert!(db.overlaps(&da));
+    }
+
+    #[test]
+    fn whole_page_change() {
+        let twin = vec![0u8; 64];
+        let cur = vec![255u8; 64];
+        let d = PageDiff::create(&twin, &cur);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.changed_bytes(), 64);
+        let mut page = twin.clone();
+        d.apply(&mut page);
+        assert_eq!(page, cur);
+    }
+}

@@ -1,0 +1,33 @@
+//! # dsm-mem — memory substrate for page-based DSM
+//!
+//! The data structures every page-based software DSM is built from,
+//! independent of any particular coherence protocol:
+//!
+//! * [`GlobalAddr`]/[`PageId`]/[`PageGeometry`] — the flat shared byte
+//!   space and its division into power-of-two pages;
+//! * [`FrameTable`]/[`Access`] — a node's local page copies and their
+//!   MMU-style access rights (insufficient rights = a fault, which is
+//!   what drives the protocols);
+//! * [`PageDiff`] — twin/diff encoding for multiple-writer protocols;
+//! * [`VClock`], [`IntervalId`]/[`IntervalRecord`] — vector timestamps
+//!   and interval bookkeeping for lazy release consistency;
+//! * [`Directory`]/[`DirEntry`]/[`NodeSet`] — owner + copyset tracking
+//!   for write-invalidate manager schemes.
+
+mod addr;
+mod diff;
+mod dir;
+mod frame;
+mod interval;
+mod layout;
+mod nodeset;
+mod vclock;
+
+pub use addr::{GlobalAddr, PageGeometry, PageId};
+pub use diff::PageDiff;
+pub use dir::{home_node, DirEntry, Directory, PendingReq};
+pub use layout::{Placement, SpaceLayout};
+pub use frame::{Access, Frame, FrameTable};
+pub use interval::{IntervalId, IntervalRecord};
+pub use nodeset::NodeSet;
+pub use vclock::VClock;

@@ -1,0 +1,444 @@
+//! The coroutine driver: runs one application program per node on its
+//! own OS thread, cooperatively scheduled by the kernel through
+//! rendezvous channels, and drives the event loop to completion.
+//!
+//! Invariant: at any real-time instant, either the kernel thread or
+//! exactly one application thread is running. The kernel hands control
+//! to a program by sending it a [`Go`] and then blocking on that
+//! program's yield channel; the program hands control back by sending
+//! an [`AppYield`]. Runs are therefore deterministic regardless of OS
+//! scheduling.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::cell::Cell;
+
+use crate::kernel::{Ctx, Event, Kernel, NodeBehavior, OpOutcome};
+use crate::model::CostModel;
+use crate::msg::NodeId;
+use crate::stats::NetStats;
+use crate::time::{Dur, SimTime};
+
+/// Kernel → program: "you have the floor at virtual time `time`".
+struct Go<R> {
+    time: SimTime,
+    reply: Option<R>,
+}
+
+/// Program → kernel: why the program stopped running.
+enum AppYield<Op> {
+    /// Submit a DSM operation and wait for its reply.
+    Op(Op),
+    /// Model `Dur` of pure local computation.
+    Advance(Dur),
+    /// The program returned.
+    Finished,
+}
+
+/// The application program's handle to the simulated machine. One per
+/// node; the program calls these methods and the kernel interleaves all
+/// programs deterministically in virtual time.
+pub struct AppHandle<Op, Reply> {
+    node: NodeId,
+    nnodes: u32,
+    go_rx: Receiver<Go<Reply>>,
+    yield_tx: Sender<AppYield<Op>>,
+    now: Cell<SimTime>,
+}
+
+impl<Op, Reply> AppHandle<Op, Reply> {
+    /// This program's node id.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total nodes in the run.
+    pub fn nodes(&self) -> u32 {
+        self.nnodes
+    }
+
+    /// Current virtual time (as of the last time this program was
+    /// scheduled).
+    pub fn now(&self) -> SimTime {
+        self.now.get()
+    }
+
+    /// Submit an operation to the local protocol and wait (in virtual
+    /// time) for its reply.
+    pub fn op(&self, op: Op) -> Reply {
+        self.yield_tx
+            .send(AppYield::Op(op))
+            .expect("kernel hung up");
+        let go = self.go_rx.recv().expect("kernel hung up");
+        self.now.set(go.time);
+        go.reply.expect("op resumed without a reply")
+    }
+
+    /// Model `d` of pure local computation.
+    pub fn advance(&self, d: Dur) {
+        if d == Dur::ZERO {
+            return;
+        }
+        self.yield_tx
+            .send(AppYield::Advance(d))
+            .expect("kernel hung up");
+        let go = self.go_rx.recv().expect("kernel hung up");
+        self.now.set(go.time);
+        debug_assert!(go.reply.is_none());
+    }
+
+    fn wait_first_go(&self) {
+        let go = self.go_rx.recv().expect("kernel hung up");
+        self.now.set(go.time);
+    }
+
+    fn finish(&self) {
+        // The kernel may already have shut down if it panicked.
+        let _ = self.yield_tx.send(AppYield::Finished);
+    }
+}
+
+/// Outcome of a completed run.
+#[derive(Debug)]
+pub struct RunResult<V> {
+    /// Virtual time at which the last program finished — the parallel
+    /// execution time used for speedup figures.
+    pub end_time: SimTime,
+    /// Per-node program finish times.
+    pub finish_times: Vec<SimTime>,
+    /// Aggregate network traffic.
+    pub stats: NetStats,
+    /// Per-node program return values.
+    pub results: Vec<V>,
+}
+
+/// Configuration for one simulation run.
+pub struct Sim<N: NodeBehavior> {
+    nodes: Vec<N>,
+    model: CostModel,
+    max_events: u64,
+}
+
+impl<N: NodeBehavior> Sim<N> {
+    /// Build a run over the given per-node behaviors (protocol
+    /// instances) and cost model.
+    pub fn new(nodes: Vec<N>, model: CostModel) -> Self {
+        assert!(!nodes.is_empty(), "need at least one node");
+        Sim { nodes, model, max_events: u64::MAX }
+    }
+
+    /// Panic if more than `max` events are processed (livelock guard).
+    pub fn max_events(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    /// Run one program per node to completion and return the result.
+    ///
+    /// `programs.len()` must equal the node count. Programs run on
+    /// their own threads but in deterministic cooperative order.
+    ///
+    /// Panics on distributed deadlock: if the event queue drains while
+    /// some program has not finished, the blocked nodes are reported.
+    pub fn run<V, F>(self, programs: Vec<F>) -> RunResult<V>
+    where
+        V: Send,
+        F: FnOnce(&AppHandle<N::Op, N::Reply>) -> V + Send,
+    {
+        let Sim { mut nodes, model, max_events } = self;
+        let nnodes = nodes.len() as u32;
+        assert_eq!(
+            programs.len(),
+            nodes.len(),
+            "one program per node required"
+        );
+
+        let mut kernel: Kernel<N> = Kernel::new(nnodes, model);
+        kernel.set_max_events(max_events);
+
+        let mut go_txs = Vec::with_capacity(nodes.len());
+        let mut yield_rxs = Vec::with_capacity(nodes.len());
+        let mut handles = Vec::with_capacity(nodes.len());
+        for i in 0..nodes.len() {
+            // Capacity 1 is enough: strict rendezvous means at most one
+            // message is ever in flight per channel.
+            let (go_tx, go_rx) = bounded::<Go<N::Reply>>(1);
+            let (yield_tx, yield_rx) = bounded::<AppYield<N::Op>>(1);
+            go_txs.push(go_tx);
+            yield_rxs.push(yield_rx);
+            handles.push(AppHandle {
+                node: NodeId(i as u32),
+                nnodes,
+                go_rx,
+                yield_tx,
+                now: Cell::new(SimTime::ZERO),
+            });
+        }
+
+        // Everything the event loop owns moves into the scope closure so
+        // that a kernel panic (deadlock/livelock detection) drops the
+        // rendezvous channels, unblocking and terminating the program
+        // threads before the scope joins them.
+        std::thread::scope(move |s| {
+            let go_txs = go_txs;
+            let yield_rxs = yield_rxs;
+            let mut joins = Vec::with_capacity(programs.len());
+            for (program, handle) in programs.into_iter().zip(handles) {
+                joins.push(s.spawn(move || {
+                    handle.wait_first_go();
+                    let v = program(&handle);
+                    handle.finish();
+                    v
+                }));
+            }
+
+            // Protocol start hooks, then kick every program at t=0 in
+            // node order.
+            for (i, node) in nodes.iter_mut().enumerate() {
+                let mut ctx = Ctx { kernel: &mut kernel, node: NodeId(i as u32) };
+                node.on_start(&mut ctx);
+            }
+            for i in 0..nodes.len() as u32 {
+                kernel.schedule(SimTime::ZERO, Event::Resume { node: NodeId(i) });
+            }
+
+            while let Some((_t, event)) = kernel.pop() {
+                match event {
+                    Event::Deliver { src, dst, msg } => {
+                        let mut ctx = Ctx { kernel: &mut kernel, node: dst };
+                        nodes[dst.index()].on_message(&mut ctx, src, msg);
+                    }
+                    Event::Timer { node, token } => {
+                        let mut ctx = Ctx { kernel: &mut kernel, node };
+                        nodes[node.index()].on_timer(&mut ctx, token);
+                    }
+                    Event::Resume { node } => {
+                        let i = node.index();
+                        if kernel.app[i].finished {
+                            continue;
+                        }
+                        let mut reply = kernel.app[i].pending_reply.take();
+                        // Inner loop: keep the program running while its
+                        // ops complete with zero cost at this instant.
+                        loop {
+                            go_txs[i]
+                                .send(Go { time: kernel.now(), reply: reply.take() })
+                                .expect("program thread died");
+                            match yield_rxs[i].recv().expect("program thread died") {
+                                AppYield::Op(op) => {
+                                    kernel.app[i].in_op = true;
+                                    let outcome = {
+                                        let mut ctx =
+                                            Ctx { kernel: &mut kernel, node };
+                                        nodes[i].on_op(&mut ctx, op)
+                                    };
+                                    kernel.app[i].in_op = false;
+                                    match outcome {
+                                        OpOutcome::Done(r) => {
+                                            reply = Some(r);
+                                            continue;
+                                        }
+                                        OpOutcome::DoneAfter(r, d) => {
+                                            kernel.app[i].pending_reply = Some(r);
+                                            let at = kernel.now() + d;
+                                            kernel.schedule(
+                                                at,
+                                                Event::Resume { node },
+                                            );
+                                            break;
+                                        }
+                                        OpOutcome::Blocked => {
+                                            // The op handler may complete
+                                            // synchronously via complete_op
+                                            // (e.g. colocated manager), in
+                                            // which case blocked is already
+                                            // false and a Resume is queued.
+                                            if kernel.app[i].pending_reply.is_none()
+                                            {
+                                                kernel.app[i].blocked = true;
+                                            }
+                                            break;
+                                        }
+                                    }
+                                }
+                                AppYield::Advance(d) => {
+                                    let at = kernel.now() + d;
+                                    kernel.schedule(at, Event::Resume { node });
+                                    break;
+                                }
+                                AppYield::Finished => {
+                                    kernel.app[i].finished = true;
+                                    kernel.app[i].finish_time = kernel.now();
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            if !kernel.all_finished() {
+                let detail: Vec<String> = kernel
+                    .blocked_nodes()
+                    .iter()
+                    .map(|n| format!("{}: {}", n, nodes[n.index()].describe()))
+                    .collect();
+                panic!(
+                    "distributed deadlock at t={}: nodes never finished [{}]",
+                    kernel.now(),
+                    detail.join("; ")
+                );
+            }
+
+            let results: Vec<V> =
+                joins.into_iter().map(|j| j.join().expect("program panicked")).collect();
+            let finish_times: Vec<SimTime> =
+                kernel.app.iter().map(|s| s.finish_time).collect();
+            let end_time = finish_times.iter().copied().max().unwrap_or(SimTime::ZERO);
+            RunResult { end_time, finish_times, stats: kernel.stats.clone(), results }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Payload;
+
+    /// A trivial ping-pong behavior: node 0's program sends a ping op;
+    /// the behavior forwards it to node 1, whose handler pongs back.
+    enum PingMsg {
+        Ping,
+        Pong,
+    }
+    impl Payload for PingMsg {
+        fn wire_bytes(&self) -> usize {
+            8
+        }
+        fn kind(&self) -> &'static str {
+            match self {
+                PingMsg::Ping => "Ping",
+                PingMsg::Pong => "Pong",
+            }
+        }
+    }
+
+    struct PingNode;
+    impl NodeBehavior for PingNode {
+        type Msg = PingMsg;
+        type Op = ();
+        type Reply = SimTime;
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Self::Msg) {
+            match msg {
+                PingMsg::Ping => ctx.send(from, PingMsg::Pong),
+                PingMsg::Pong => {
+                    let now = ctx.now();
+                    ctx.complete_op(now);
+                }
+            }
+        }
+
+        fn on_op(&mut self, ctx: &mut Ctx<'_, Self>, _op: ()) -> OpOutcome<SimTime> {
+            ctx.send(NodeId(1), PingMsg::Ping);
+            OpOutcome::Blocked
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip_time_and_stats() {
+        let model = CostModel::uniform(Dur::micros(10), 0);
+        let sim = Sim::new(vec![PingNode, PingNode], model);
+        let res = sim.run(vec![
+            |h: &AppHandle<(), SimTime>| h.op(()),
+            |_h: &AppHandle<(), SimTime>| SimTime::ZERO,
+        ]);
+        // One-way 10us each direction.
+        assert_eq!(res.results[0], SimTime(20_000));
+        assert_eq!(res.stats.kind("Ping").count, 1);
+        assert_eq!(res.stats.kind("Pong").count, 1);
+        assert_eq!(res.end_time, SimTime(20_000));
+    }
+
+    #[test]
+    fn advance_accumulates_virtual_time() {
+        let model = CostModel::uniform(Dur::ZERO, 0);
+        let sim = Sim::new(vec![PingNode], model);
+        let res = sim.run(vec![|h: &AppHandle<(), SimTime>| {
+            h.advance(Dur::micros(5));
+            h.advance(Dur::micros(7));
+            h.now()
+        }]);
+        assert_eq!(res.results[0], SimTime(12_000));
+        assert_eq!(res.finish_times[0], SimTime(12_000));
+    }
+
+    #[test]
+    fn end_time_is_max_of_finish_times() {
+        let model = CostModel::uniform(Dur::ZERO, 0);
+        let sim = Sim::new(vec![PingNode, PingNode], model);
+        let res = sim.run(vec![
+            |h: &AppHandle<(), SimTime>| h.advance(Dur::millis(3)),
+            |h: &AppHandle<(), SimTime>| h.advance(Dur::millis(1)),
+        ]);
+        assert_eq!(res.end_time, SimTime(3_000_000));
+        assert_eq!(res.finish_times[1], SimTime(1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "distributed deadlock")]
+    fn deadlock_is_detected() {
+        struct StuckNode;
+        impl NodeBehavior for StuckNode {
+            type Msg = PingMsg;
+            type Op = ();
+            type Reply = ();
+            fn on_message(&mut self, _: &mut Ctx<'_, Self>, _: NodeId, _: Self::Msg) {}
+            fn on_op(&mut self, _: &mut Ctx<'_, Self>, _: ()) -> OpOutcome<()> {
+                OpOutcome::Blocked // nobody will ever complete this
+            }
+        }
+        let sim = Sim::new(vec![StuckNode], CostModel::default());
+        sim.run(vec![|h: &AppHandle<(), ()>| h.op(())]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let model = CostModel::lan_1992();
+            let sim = Sim::new(vec![PingNode, PingNode], model);
+            let res = sim.run(vec![
+                |h: &AppHandle<(), SimTime>| {
+                    h.advance(Dur::micros(3));
+                    h.op(())
+                },
+                |h: &AppHandle<(), SimTime>| {
+                    h.advance(Dur::micros(50));
+                    h.now()
+                },
+            ]);
+            (res.end_time, res.results.clone(), res.stats.total_msgs())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn done_after_charges_local_time() {
+        struct LocalNode;
+        impl NodeBehavior for LocalNode {
+            type Msg = PingMsg;
+            type Op = u64;
+            type Reply = u64;
+            fn on_message(&mut self, _: &mut Ctx<'_, Self>, _: NodeId, _: Self::Msg) {}
+            fn on_op(&mut self, _: &mut Ctx<'_, Self>, op: u64) -> OpOutcome<u64> {
+                OpOutcome::DoneAfter(op * 2, Dur::micros(op))
+            }
+        }
+        let sim = Sim::new(vec![LocalNode], CostModel::uniform(Dur::ZERO, 0));
+        let res = sim.run(vec![|h: &AppHandle<u64, u64>| {
+            let a = h.op(10);
+            let b = h.op(5);
+            (a, b, h.now())
+        }]);
+        assert_eq!(res.results[0], (20, 10, SimTime(15_000)));
+    }
+}

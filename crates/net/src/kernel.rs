@@ -1,0 +1,304 @@
+//! The discrete-event kernel.
+//!
+//! All protocol state lives on the kernel thread: a node's message
+//! handlers ([`NodeBehavior::on_message`]) and its application-op entry
+//! point ([`NodeBehavior::on_op`]) are invoked here, at well-defined
+//! points in virtual time, one at a time. Application *programs* run on
+//! their own OS threads but are cooperatively scheduled by the driver
+//! (see [`crate::driver`]): the kernel and the app threads rendezvous,
+//! so exactly one logical actor is ever running, making every run
+//! deterministic for a given seed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::model::CostModel;
+use crate::msg::{NodeId, Payload};
+use crate::rng::XorShift64;
+use crate::stats::NetStats;
+use crate::time::{Dur, SimTime};
+
+/// Per-node protocol logic: a state machine driven by messages from
+/// other nodes and by synchronous operations from the local application
+/// program.
+pub trait NodeBehavior: Send {
+    /// Wire message type exchanged between nodes.
+    type Msg: Payload;
+    /// Operation request submitted by the local application program
+    /// (e.g. "read fault on page 7", "acquire lock 3").
+    type Op: Send;
+    /// Reply returned to the application program when an op completes.
+    type Reply: Send;
+
+    /// Called once at virtual time zero, before any program runs.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Self>) {}
+
+    /// One-line state description for deadlock diagnostics.
+    fn describe(&self) -> String {
+        String::new()
+    }
+
+    /// A message from `from` has been delivered to this node.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Self::Msg);
+
+    /// The local program issued `op`. Return [`OpOutcome::Blocked`] to
+    /// park the program; a later handler must call
+    /// [`Ctx::complete_op`] to resume it.
+    fn on_op(&mut self, ctx: &mut Ctx<'_, Self>, op: Self::Op) -> OpOutcome<Self::Reply>;
+
+    /// A timer set via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, _token: u64) {}
+}
+
+/// Result of submitting an application op to the local protocol.
+#[derive(Debug)]
+pub enum OpOutcome<R> {
+    /// Completed locally with no virtual-time cost (e.g. cache hit).
+    Done(R),
+    /// Completed locally after the given local processing time.
+    DoneAfter(R, Dur),
+    /// The op needs remote communication; the program is parked until
+    /// [`Ctx::complete_op`] is called for this node.
+    Blocked,
+}
+
+pub(crate) enum Event<M> {
+    Deliver { src: NodeId, dst: NodeId, msg: M },
+    Resume { node: NodeId },
+    Timer { node: NodeId, token: u64 },
+}
+
+struct HeapEntry<M> {
+    time: SimTime,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for HeapEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for HeapEntry<M> {}
+impl<M> PartialOrd for HeapEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for HeapEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// What the kernel knows about one node's parked program.
+pub(crate) struct AppSlot<R> {
+    /// Program is parked waiting for `complete_op`.
+    pub blocked: bool,
+    /// An `on_op` call for this node is currently on the stack
+    /// (completion during dispatch is then legal).
+    pub in_op: bool,
+    /// Completed reply waiting for the Resume event to fire.
+    pub pending_reply: Option<R>,
+    /// Program has returned.
+    pub finished: bool,
+    /// Virtual time at which the program returned.
+    pub finish_time: SimTime,
+}
+
+impl<R> Default for AppSlot<R> {
+    fn default() -> Self {
+        AppSlot {
+            blocked: false,
+            in_op: false,
+            pending_reply: None,
+            finished: false,
+            finish_time: SimTime::ZERO,
+        }
+    }
+}
+
+/// Kernel state shared by all handler invocations (event queue, clock,
+/// traffic stats, cost model).
+pub struct Kernel<N: NodeBehavior + ?Sized> {
+    heap: BinaryHeap<Reverse<HeapEntry<N::Msg>>>,
+    seq: u64,
+    now: SimTime,
+    pub(crate) stats: NetStats,
+    model: CostModel,
+    jitter: XorShift64,
+    pub(crate) app: Vec<AppSlot<N::Reply>>,
+    nnodes: u32,
+    events_processed: u64,
+    max_events: u64,
+    /// Per-node time at which the send path (CPU + NIC tx) frees up.
+    /// Serializes outgoing messages so a manager broadcasting to N
+    /// nodes pays N transmission times — the bottleneck the
+    /// centralized-vs-distributed experiments measure.
+    nic_free: Vec<SimTime>,
+    /// Per-node receive-path occupancy, serializing inbound handling.
+    recv_free: Vec<SimTime>,
+}
+
+impl<N: NodeBehavior + ?Sized> Kernel<N> {
+    pub(crate) fn new(nnodes: u32, model: CostModel) -> Self {
+        let jitter = XorShift64::new(model.jitter_seed);
+        Kernel {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            stats: NetStats::new(),
+            model,
+            jitter,
+            app: (0..nnodes).map(|_| AppSlot::default()).collect(),
+            nnodes,
+            events_processed: 0,
+            max_events: u64::MAX,
+            nic_free: vec![SimTime::ZERO; nnodes as usize],
+            recv_free: vec![SimTime::ZERO; nnodes as usize],
+        }
+    }
+
+    /// Cap the number of events processed; exceeded means a protocol
+    /// livelock and the run panics with a diagnostic.
+    pub(crate) fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    pub(crate) fn schedule(&mut self, at: SimTime, event: Event<N::Msg>) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(HeapEntry { time: at, seq, event }));
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, Event<N::Msg>)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.events_processed += 1;
+        if self.events_processed > self.max_events {
+            panic!(
+                "kernel exceeded max_events={} at t={} — protocol livelock?",
+                self.max_events, self.now
+            );
+        }
+        self.now = e.time;
+        Some((e.time, e.event))
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub(crate) fn all_finished(&self) -> bool {
+        self.app.iter().all(|s| s.finished)
+    }
+
+    pub(crate) fn blocked_nodes(&self) -> Vec<NodeId> {
+        self.app
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.finished)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    fn send_inner(&mut self, src: NodeId, dst: NodeId, msg: N::Msg, extra: Dur) {
+        let bytes = msg.wire_bytes();
+        self.stats.record(msg.kind(), bytes);
+        // Sender side: the message queues behind whatever this node is
+        // already transmitting.
+        let total_bytes = (bytes + self.model.header_bytes) as u64;
+        let tx = self.model.send_overhead + Dur::nanos(total_bytes * self.model.ns_per_byte);
+        let depart_start = (self.now + extra).max(self.nic_free[src.index()]);
+        let depart_end = depart_start + tx;
+        self.nic_free[src.index()] = depart_end;
+        // Wire.
+        let mut arrive = depart_end + self.model.wire_latency;
+        if self.model.jitter_max > Dur::ZERO {
+            arrive += Dur::nanos(self.jitter.below(self.model.jitter_max.as_nanos()));
+        }
+        // Receiver side: inbound messages are handled one at a time.
+        let deliver = arrive.max(self.recv_free[dst.index()]) + self.model.recv_overhead;
+        self.recv_free[dst.index()] = deliver;
+        self.schedule(deliver, Event::Deliver { src, dst, msg });
+    }
+}
+
+/// Handler context: everything a [`NodeBehavior`] may do to the world,
+/// bound to the node the current event belongs to.
+pub struct Ctx<'a, N: NodeBehavior + ?Sized> {
+    pub(crate) kernel: &'a mut Kernel<N>,
+    pub(crate) node: NodeId,
+}
+
+impl<'a, N: NodeBehavior + ?Sized> Ctx<'a, N> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// The node this handler is running on.
+    pub fn me(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total number of nodes in the run.
+    pub fn nodes(&self) -> u32 {
+        self.kernel.nnodes
+    }
+
+    /// The cost model in effect (for charging local costs).
+    pub fn model(&self) -> &CostModel {
+        &self.kernel.model
+    }
+
+    /// Send `msg` to `dst`; delivery is scheduled per the cost model.
+    /// Sending to self is allowed and goes through the same path (used
+    /// by managers colocated with a requester to keep counting honest —
+    /// though colocated paths normally shortcut via direct calls).
+    pub fn send(&mut self, dst: NodeId, msg: N::Msg) {
+        self.kernel.send_inner(self.node, dst, msg, Dur::ZERO);
+    }
+
+    /// Send with extra local serialization delay before the wire.
+    pub fn send_after(&mut self, dst: NodeId, msg: N::Msg, extra: Dur) {
+        self.kernel.send_inner(self.node, dst, msg, extra);
+    }
+
+    /// Complete this node's parked application op immediately.
+    pub fn complete_op(&mut self, reply: N::Reply) {
+        self.complete_op_after(reply, Dur::ZERO);
+    }
+
+    /// Complete this node's parked application op after a local delay
+    /// (e.g. installing a received page costs a memcpy).
+    pub fn complete_op_after(&mut self, reply: N::Reply, delay: Dur) {
+        let slot = &mut self.kernel.app[self.node.index()];
+        assert!(
+            (slot.blocked || slot.in_op) && slot.pending_reply.is_none(),
+            "complete_op on {} with no parked op",
+            self.node
+        );
+        slot.blocked = false;
+        slot.pending_reply = Some(reply);
+        let at = self.kernel.now + delay;
+        self.kernel.schedule(at, Event::Resume { node: self.node });
+    }
+
+    /// True if this node's program is parked on an op.
+    pub fn op_parked(&self) -> bool {
+        self.kernel.app[self.node.index()].blocked
+    }
+
+    /// Arrange for `on_timer(token)` on this node after `delay`.
+    pub fn set_timer(&mut self, delay: Dur, token: u64) {
+        let at = self.kernel.now + delay;
+        self.kernel.schedule(at, Event::Timer { node: self.node, token });
+    }
+
+    /// Record a pseudo message in the traffic stats without sending
+    /// anything (used to account for piggybacked payloads).
+    pub fn account(&mut self, kind: &'static str, bytes: usize) {
+        self.kernel.stats.record(kind, bytes);
+    }
+}

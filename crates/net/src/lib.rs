@@ -1,0 +1,67 @@
+//! # dsm-net — deterministic discrete-event kernel and network model
+//!
+//! The execution substrate for `pagedsm`'s simulated engine. A run
+//! consists of N simulated nodes; each node has
+//!
+//! * a [`NodeBehavior`] — its protocol state machine, driven entirely on
+//!   the kernel thread by message deliveries, timers, and application
+//!   operations; and
+//! * an application *program* — ordinary Rust code running on its own
+//!   OS thread, but cooperatively scheduled so that exactly one actor
+//!   runs at a time.
+//!
+//! Virtual time advances only through the event queue, so a run's
+//! completion time, message counts, and results are bit-reproducible.
+//! The [`CostModel`] prices every message (software overhead, wire
+//! latency, bandwidth) and local operations (fault traps, memcpy),
+//! which is what makes paper-style speedup and traffic figures
+//! meaningful.
+//!
+//! ```
+//! use dsm_net::{AppHandle, CostModel, Ctx, Dur, NodeBehavior, NodeId, OpOutcome, Payload, Sim};
+//!
+//! // A one-message "protocol": ops are added remotely by node 0.
+//! enum M { Add(u64), Ack }
+//! impl Payload for M {
+//!     fn wire_bytes(&self) -> usize { 8 }
+//!     fn kind(&self) -> &'static str { "Add" }
+//! }
+//! #[derive(Default)]
+//! struct Adder { total: u64 }
+//! impl NodeBehavior for Adder {
+//!     type Msg = M; type Op = u64; type Reply = ();
+//!     fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: M) {
+//!         match msg {
+//!             M::Add(x) => { self.total += x; ctx.send(from, M::Ack); }
+//!             M::Ack => ctx.complete_op(()),
+//!         }
+//!     }
+//!     fn on_op(&mut self, ctx: &mut Ctx<'_, Self>, x: u64) -> OpOutcome<()> {
+//!         ctx.send(NodeId(0), M::Add(x));
+//!         OpOutcome::Blocked
+//!     }
+//! }
+//!
+//! let sim = Sim::new(vec![Adder::default(), Adder::default()], CostModel::lan_1992());
+//! let res = sim.run(vec![
+//!     |_h: &AppHandle<u64, ()>| (),
+//!     |h: &AppHandle<u64, ()>| h.op(7),
+//! ]);
+//! assert_eq!(res.stats.total_msgs(), 2);
+//! ```
+
+mod driver;
+mod kernel;
+mod model;
+mod msg;
+mod rng;
+mod stats;
+mod time;
+
+pub use driver::{AppHandle, RunResult, Sim};
+pub use kernel::{Ctx, NodeBehavior, OpOutcome};
+pub use model::CostModel;
+pub use msg::{Envelope, NodeId, Payload};
+pub use rng::XorShift64;
+pub use stats::{KindStats, NetStats};
+pub use time::{Dur, SimTime};

@@ -1,0 +1,169 @@
+//! Network and local-machine cost model.
+//!
+//! Page-based DSM protocols are critical-path bound: what matters is
+//! how many messages cross the network, how big they are, and how much
+//! software overhead each send/receive/fault costs. The model exposes
+//! exactly those terms, with presets spanning the 1992 LAN the tutorial
+//! assumed and a modern cluster interconnect.
+
+use crate::time::Dur;
+
+/// Cost parameters for one simulated machine room.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Software overhead at the sender per message (marshalling, trap).
+    pub send_overhead: Dur,
+    /// Software overhead at the receiver per message.
+    pub recv_overhead: Dur,
+    /// One-way wire propagation latency.
+    pub wire_latency: Dur,
+    /// Transmission time per payload byte (inverse bandwidth).
+    pub ns_per_byte: u64,
+    /// Fixed header bytes added to every message.
+    pub header_bytes: usize,
+    /// Local overhead of taking and servicing a page fault trap
+    /// (protection change, handler dispatch) — charged by protocols.
+    pub fault_overhead: Dur,
+    /// Local memory copy cost per byte (twin creation, page install).
+    pub mem_ns_per_byte: u64,
+    /// Maximum uniform random extra delivery delay. `Dur::ZERO`
+    /// preserves per-link FIFO ordering; anything larger lets messages
+    /// between the same pair of nodes reorder.
+    pub jitter_max: Dur,
+    /// Seed for the jitter PRNG (runs are deterministic per seed).
+    pub jitter_seed: u64,
+}
+
+impl CostModel {
+    /// A 1992-era 10 Mbit/s Ethernet LAN of workstations: ~1 ms
+    /// software packet cost, 0.8 µs per byte, heavyweight fault traps.
+    pub fn lan_1992() -> Self {
+        CostModel {
+            send_overhead: Dur::micros(400),
+            recv_overhead: Dur::micros(400),
+            wire_latency: Dur::micros(100),
+            ns_per_byte: 800,
+            header_bytes: 64,
+            fault_overhead: Dur::micros(80),
+            mem_ns_per_byte: 10,
+            jitter_max: Dur::ZERO,
+            jitter_seed: 1,
+        }
+    }
+
+    /// A 1994-era 100 Mbit/s ATM LAN (the network TreadMarks moved to):
+    /// ~10× the Ethernet bandwidth, lighter software overheads.
+    pub fn atm_1994() -> Self {
+        CostModel {
+            send_overhead: Dur::micros(120),
+            recv_overhead: Dur::micros(120),
+            wire_latency: Dur::micros(40),
+            ns_per_byte: 80,
+            header_bytes: 64,
+            fault_overhead: Dur::micros(60),
+            mem_ns_per_byte: 10,
+            jitter_max: Dur::ZERO,
+            jitter_seed: 1,
+        }
+    }
+
+    /// A modern commodity cluster: ~5 µs one-way latency, ~1 GB/s.
+    pub fn cluster_modern() -> Self {
+        CostModel {
+            send_overhead: Dur::micros(1),
+            recv_overhead: Dur::micros(1),
+            wire_latency: Dur::micros(5),
+            ns_per_byte: 1,
+            header_bytes: 64,
+            fault_overhead: Dur::micros(2),
+            mem_ns_per_byte: 1,
+            jitter_max: Dur::ZERO,
+            jitter_seed: 1,
+        }
+    }
+
+    /// A bare model where every message costs exactly `latency` plus
+    /// `ns_per_byte` per body byte and nothing else. Useful in unit
+    /// tests that count message hops on the critical path.
+    pub fn uniform(latency: Dur, ns_per_byte: u64) -> Self {
+        CostModel {
+            send_overhead: Dur::ZERO,
+            recv_overhead: Dur::ZERO,
+            wire_latency: latency,
+            ns_per_byte,
+            header_bytes: 0,
+            fault_overhead: Dur::ZERO,
+            mem_ns_per_byte: 0,
+            jitter_max: Dur::ZERO,
+            jitter_seed: 1,
+        }
+    }
+
+    /// Enable random delivery jitter up to `max` (breaks FIFO links).
+    pub fn with_jitter(mut self, max: Dur, seed: u64) -> Self {
+        self.jitter_max = max;
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Deterministic part of the one-way delivery delay for a message
+    /// with `body_bytes` of payload (jitter is added by the kernel).
+    pub fn delivery_delay(&self, body_bytes: usize) -> Dur {
+        let bytes = (body_bytes + self.header_bytes) as u64;
+        self.send_overhead
+            + self.wire_latency
+            + Dur::nanos(bytes * self.ns_per_byte)
+            + self.recv_overhead
+    }
+
+    /// Local memcpy cost for `bytes` bytes (twin/page install).
+    pub fn mem_copy(&self, bytes: usize) -> Dur {
+        Dur::nanos(bytes as u64 * self.mem_ns_per_byte)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::lan_1992()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_counts_only_latency_and_bytes() {
+        let m = CostModel::uniform(Dur::micros(10), 2);
+        assert_eq!(m.delivery_delay(0), Dur::micros(10));
+        assert_eq!(m.delivery_delay(100), Dur::micros(10) + Dur::nanos(200));
+    }
+
+    #[test]
+    fn lan_delay_dominated_by_software_overhead_for_small_msgs() {
+        let m = CostModel::lan_1992();
+        let d = m.delivery_delay(8);
+        // 400 + 400 + 100 us overhead plus 72 bytes * 0.8us.
+        assert_eq!(d, Dur::micros(900) + Dur::nanos(72 * 800));
+    }
+
+    #[test]
+    fn bigger_messages_cost_more() {
+        let m = CostModel::default();
+        assert!(m.delivery_delay(4096) > m.delivery_delay(16));
+    }
+
+    #[test]
+    fn atm_is_roughly_10x_ethernet_bandwidth() {
+        let eth = CostModel::lan_1992();
+        let atm = CostModel::atm_1994();
+        assert_eq!(eth.ns_per_byte / atm.ns_per_byte, 10);
+        assert!(atm.delivery_delay(4096) < eth.delivery_delay(4096));
+    }
+
+    #[test]
+    fn mem_copy_scales() {
+        let m = CostModel::cluster_modern();
+        assert_eq!(m.mem_copy(4096), Dur::nanos(4096));
+    }
+}

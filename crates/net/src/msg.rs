@@ -1,0 +1,53 @@
+//! Node identity and message payload abstractions.
+
+use std::fmt;
+
+/// Identity of a simulated node (processor). Dense, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A message payload that the network can cost and account for.
+///
+/// `wire_bytes` is the modeled on-the-wire size (headers excluded; the
+/// cost model adds a fixed per-message header). `kind` is a short label
+/// used to aggregate traffic statistics per message class, e.g.
+/// `"ReadReq"` or `"Diff"`.
+pub trait Payload: Send + 'static {
+    /// Modeled body size in bytes.
+    fn wire_bytes(&self) -> usize;
+
+    /// Statistics bucket for this message.
+    fn kind(&self) -> &'static str;
+}
+
+/// A payload in flight from `src` to `dst`.
+#[derive(Debug)]
+pub struct Envelope<P> {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub payload: P,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(format!("{}", NodeId(7)), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+}

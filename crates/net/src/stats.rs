@@ -1,0 +1,114 @@
+//! Traffic accounting. Every send is recorded under its payload's
+//! `kind()` bucket; experiment harnesses print these tables directly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Count and byte volume for one message class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStats {
+    pub count: u64,
+    pub bytes: u64,
+}
+
+/// Aggregate network traffic for a run.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    kinds: BTreeMap<&'static str, KindStats>,
+}
+
+impl NetStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one message of `kind` with `bytes` of modeled body.
+    pub fn record(&mut self, kind: &'static str, bytes: usize) {
+        let k = self.kinds.entry(kind).or_default();
+        k.count += 1;
+        k.bytes += bytes as u64;
+    }
+
+    /// Total messages across all classes.
+    pub fn total_msgs(&self) -> u64 {
+        self.kinds.values().map(|k| k.count).sum()
+    }
+
+    /// Total body bytes across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.kinds.values().map(|k| k.bytes).sum()
+    }
+
+    /// Stats for one message class (zero if never seen).
+    pub fn kind(&self, kind: &str) -> KindStats {
+        self.kinds.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Iterate classes in deterministic (alphabetical) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, KindStats)> + '_ {
+        self.kinds.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Fold another run's traffic into this one.
+    pub fn merge(&mut self, other: &NetStats) {
+        for (kind, k) in other.iter() {
+            let e = self.kinds.entry(kind).or_default();
+            e.count += k.count;
+            e.bytes += k.bytes;
+        }
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<18} {:>10} {:>12}", "kind", "msgs", "bytes")?;
+        for (kind, k) in self.iter() {
+            writeln!(f, "{:<18} {:>10} {:>12}", kind, k.count, k.bytes)?;
+        }
+        write!(
+            f,
+            "{:<18} {:>10} {:>12}",
+            "TOTAL",
+            self.total_msgs(),
+            self.total_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = NetStats::new();
+        s.record("ReadReq", 8);
+        s.record("ReadReq", 8);
+        s.record("Page", 4096);
+        assert_eq!(s.kind("ReadReq"), KindStats { count: 2, bytes: 16 });
+        assert_eq!(s.total_msgs(), 3);
+        assert_eq!(s.total_bytes(), 16 + 4096);
+        assert_eq!(s.kind("absent"), KindStats::default());
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = NetStats::new();
+        a.record("X", 1);
+        let mut b = NetStats::new();
+        b.record("X", 2);
+        b.record("Y", 3);
+        a.merge(&b);
+        assert_eq!(a.kind("X"), KindStats { count: 2, bytes: 3 });
+        assert_eq!(a.kind("Y"), KindStats { count: 1, bytes: 3 });
+    }
+
+    #[test]
+    fn display_is_table() {
+        let mut s = NetStats::new();
+        s.record("A", 10);
+        let text = format!("{}", s);
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("A"));
+    }
+}

@@ -1,0 +1,203 @@
+//! The [`Protocol`] trait: the contract between a coherence protocol
+//! and the node runtime that embeds it.
+//!
+//! A protocol is a pure message-driven state machine. It never blocks;
+//! instead it reports progress through [`ProtoEvent`]s and the runtime
+//! decides when the parked application operation can retry or complete.
+
+use crate::msg::{Piggy, ProtoMsg};
+use dsm_mem::{FrameTable, GlobalAddr, PageId};
+use dsm_net::{CostModel, Dur, NodeId};
+use dsm_sync::LockId;
+
+/// Transport + environment a protocol sees (implemented by the runtime
+/// over the simulator context).
+pub trait ProtoIo {
+    /// This node.
+    fn me(&self) -> NodeId;
+    /// Total nodes in the run.
+    fn nodes(&self) -> u32;
+    /// Cost model (for charging local work where relevant).
+    fn send(&mut self, dst: NodeId, msg: ProtoMsg);
+    /// The cost model in effect.
+    fn model(&self) -> &CostModel;
+}
+
+/// Progress notifications from the protocol to the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoEvent {
+    /// A previously faulting page now has sufficient rights; retry the
+    /// parked operation.
+    PageReady(PageId),
+    /// An [`WriteOutcome::Async`] write has been globally performed.
+    WriteDone,
+    /// The flush started by [`Protocol::pre_release`] finished; the
+    /// release/barrier may proceed.
+    FlushDone,
+}
+
+/// How the protocol disposed of an application write that could not be
+/// performed locally.
+#[derive(Debug)]
+pub enum WriteOutcome {
+    /// Rights now suffice (protocol fixed it synchronously); retry.
+    Ready,
+    /// A fault was issued for `PageId`; retry on
+    /// [`ProtoEvent::PageReady`].
+    Faulted(PageId),
+    /// The protocol took over the write and has already performed it
+    /// (e.g. the home applied it to the master copy); complete the op
+    /// now, without retrying the frame-table write.
+    Done,
+    /// The protocol took over the write (update protocols); the data
+    /// will not be written locally through the frame table. Complete on
+    /// [`ProtoEvent::WriteDone`].
+    Async,
+}
+
+/// A page-based coherence protocol.
+///
+/// Method order guarantees provided by the runtime:
+/// * `pre_release` is called before every lock release *and* barrier
+///   arrival; the sync operation proceeds only after it returns `true`
+///   or [`ProtoEvent::FlushDone`] fires.
+/// * `op_retired` is called after a previously faulted operation has
+///   performed its access, letting single-writer protocols hand the
+///   page to queued requesters without starving the local access.
+pub trait Protocol: Send {
+    /// Short name for reports ("ivy-dyn", "lrc", ...).
+    fn name(&self) -> &'static str;
+
+    /// One-time setup (install home pages, ...).
+    fn on_start(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable) {}
+
+    /// The application read-faulted on `page`. Return `true` when the
+    /// fault was satisfied synchronously (rights now sufficient);
+    /// otherwise [`ProtoEvent::PageReady`] must follow.
+    fn read_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId)
+        -> bool;
+
+    /// The application write-faulted on `page`. Same contract as
+    /// [`Protocol::read_fault`].
+    fn write_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId)
+        -> bool;
+
+    /// An application write whose rights were insufficient. The default
+    /// maps it onto [`Protocol::write_fault`] of the first offending
+    /// page; update-style protocols override this to take over the
+    /// whole write.
+    fn write_op(
+        &mut self,
+        io: &mut dyn ProtoIo,
+        mem: &mut FrameTable,
+        addr: GlobalAddr,
+        data: &[u8],
+    ) -> WriteOutcome {
+        use dsm_mem::Access;
+        match mem.first_insufficient(addr, data.len(), Access::Write) {
+            None => WriteOutcome::Ready,
+            Some(page) => {
+                if self.write_fault(io, mem, page) {
+                    WriteOutcome::Ready
+                } else {
+                    WriteOutcome::Faulted(page)
+                }
+            }
+        }
+    }
+
+    /// A coherence message arrived.
+    fn on_message(
+        &mut self,
+        io: &mut dyn ProtoIo,
+        mem: &mut FrameTable,
+        from: NodeId,
+        msg: ProtoMsg,
+        events: &mut Vec<ProtoEvent>,
+    );
+
+    /// A previously faulted operation has now performed its access.
+    fn op_retired(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable) {}
+
+    /// Consistency work required before a release (`lock` is `Some`) or
+    /// barrier arrival (`lock` is `None`). Return `true` if none (or
+    /// done synchronously); otherwise emit [`ProtoEvent::FlushDone`]
+    /// later.
+    fn pre_release(
+        &mut self,
+        _io: &mut dyn ProtoIo,
+        _mem: &mut FrameTable,
+        _lock: Option<LockId>,
+    ) -> bool {
+        true
+    }
+
+    /// Information to attach to this node's request for `lock`.
+    fn acquire_reqinfo(&mut self, _mem: &mut FrameTable, _lock: LockId) -> Piggy {
+        Piggy::None
+    }
+
+    /// Payload for granting `lock` to `to`, given the requester's
+    /// `reqinfo`.
+    fn grant_piggy(
+        &mut self,
+        _io: &mut dyn ProtoIo,
+        _mem: &mut FrameTable,
+        _lock: LockId,
+        _to: NodeId,
+        _reqinfo: &Piggy,
+    ) -> Piggy {
+        Piggy::None
+    }
+
+    /// Payload deposited with a centralized lock server on release
+    /// (the next grantee is unknown, so this must suffice for anyone).
+    fn release_piggy(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable, _lock: LockId) -> Piggy {
+        Piggy::None
+    }
+
+    /// Apply the payload received with a lock grant.
+    fn on_acquired(
+        &mut self,
+        _io: &mut dyn ProtoIo,
+        _mem: &mut FrameTable,
+        _lock: LockId,
+        _piggy: Piggy,
+    ) {
+    }
+
+    /// Contribution attached to this node's barrier arrival (called
+    /// after `pre_release` completed).
+    fn barrier_piggy(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable) -> Piggy {
+        Piggy::None
+    }
+
+    /// Root only: merge everyone's barrier contributions into one
+    /// payload per node (must return exactly one entry per node id).
+    fn merge_barrier(
+        &mut self,
+        _io: &mut dyn ProtoIo,
+        _mem: &mut FrameTable,
+        arrivals: Vec<(NodeId, Piggy)>,
+        nnodes: u32,
+    ) -> Vec<(NodeId, Piggy)> {
+        let _ = arrivals;
+        (0..nnodes).map(|i| (NodeId(i), Piggy::None)).collect()
+    }
+
+    /// Apply the payload received with a barrier release.
+    fn on_barrier_released(
+        &mut self,
+        _io: &mut dyn ProtoIo,
+        _mem: &mut FrameTable,
+        _piggy: Piggy,
+    ) {
+    }
+
+    /// Local cost to install a fetched page (charged by the runtime
+    /// when completing a faulted op). Protocols with heavier install
+    /// paths (diff application) may override.
+    fn install_cost(&self, model: &CostModel, page_size: usize) -> Dur {
+        model.fault_overhead + model.mem_copy(page_size)
+    }
+}

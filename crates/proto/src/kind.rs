@@ -1,0 +1,134 @@
+//! Protocol selection: one enum to name every coherence protocol in the
+//! suite, with a uniform constructor.
+
+use crate::api::Protocol;
+use crate::entry::{Entry, EntryBinding};
+use crate::erc::Erc;
+use crate::ivy::{Ivy, ManagerScheme};
+use crate::lrc::Lrc;
+use crate::migrate::Migrate;
+use crate::update::Update;
+use dsm_mem::SpaceLayout;
+use dsm_net::NodeId;
+
+/// Every coherence protocol in the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// IVY write-invalidate, centralized manager (node 0).
+    IvyCentral,
+    /// IVY write-invalidate, fixed distributed manager (page homes).
+    IvyFixed,
+    /// IVY write-invalidate, dynamic distributed manager
+    /// (probable-owner chains).
+    IvyDynamic,
+    /// Single-copy page migration baseline.
+    Migrate,
+    /// Write-update with home-node sequencing (eager sharing).
+    Update,
+    /// Eager release consistency, multiple writers (Munin
+    /// write-shared).
+    Erc,
+    /// Lazy release consistency (TreadMarks).
+    Lrc,
+    /// Entry consistency (Midway). Requires lock↔data bindings.
+    Entry,
+}
+
+impl ProtocolKind {
+    /// All protocols, in canonical report order.
+    pub const ALL: [ProtocolKind; 8] = [
+        ProtocolKind::IvyCentral,
+        ProtocolKind::IvyFixed,
+        ProtocolKind::IvyDynamic,
+        ProtocolKind::Migrate,
+        ProtocolKind::Update,
+        ProtocolKind::Erc,
+        ProtocolKind::Lrc,
+        ProtocolKind::Entry,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::IvyCentral => "ivy-central",
+            ProtocolKind::IvyFixed => "ivy-fixed",
+            ProtocolKind::IvyDynamic => "ivy-dyn",
+            ProtocolKind::Migrate => "migrate",
+            ProtocolKind::Update => "update",
+            ProtocolKind::Erc => "erc",
+            ProtocolKind::Lrc => "lrc",
+            ProtocolKind::Entry => "entry",
+        }
+    }
+
+    /// True for protocols that provide sequential consistency for
+    /// arbitrary (even racy) programs; the weaker ones require
+    /// data-race-free programs synchronized with the provided locks and
+    /// barriers.
+    pub fn sequentially_consistent(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::IvyCentral
+                | ProtocolKind::IvyFixed
+                | ProtocolKind::IvyDynamic
+                | ProtocolKind::Migrate
+                | ProtocolKind::Update
+        )
+    }
+
+    /// Construct the per-node protocol instance.
+    ///
+    /// `bindings` is only consulted by [`ProtocolKind::Entry`]; other
+    /// protocols ignore it.
+    pub fn build(
+        self,
+        me: NodeId,
+        layout: SpaceLayout,
+        bindings: &[EntryBinding],
+    ) -> Box<dyn Protocol> {
+        match self {
+            ProtocolKind::IvyCentral => {
+                Box::new(Ivy::new(ManagerScheme::Central, me, layout))
+            }
+            ProtocolKind::IvyFixed => Box::new(Ivy::new(ManagerScheme::Fixed, me, layout)),
+            ProtocolKind::IvyDynamic => {
+                Box::new(Ivy::new(ManagerScheme::Dynamic, me, layout))
+            }
+            ProtocolKind::Migrate => Box::new(Migrate::new(me, layout)),
+            ProtocolKind::Update => Box::new(Update::new(me, layout)),
+            ProtocolKind::Erc => Box::new(Erc::new(me, layout)),
+            ProtocolKind::Lrc => Box::new(Lrc::new(me, layout)),
+            ProtocolKind::Entry => Box::new(Entry::new(me, layout, bindings)),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_mem::{PageGeometry, Placement};
+
+    #[test]
+    fn every_kind_builds_and_names_match() {
+        let layout =
+            SpaceLayout::new(PageGeometry::new(256), 1024, Placement::Cyclic, 2);
+        for kind in ProtocolKind::ALL {
+            let p = kind.build(NodeId(0), layout, &[]);
+            assert_eq!(p.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn sc_classification() {
+        assert!(ProtocolKind::IvyDynamic.sequentially_consistent());
+        assert!(ProtocolKind::Update.sequentially_consistent());
+        assert!(!ProtocolKind::Lrc.sequentially_consistent());
+        assert!(!ProtocolKind::Entry.sequentially_consistent());
+    }
+}

@@ -1,0 +1,37 @@
+//! # dsm-proto — coherence protocols for page-based DSM
+//!
+//! Message-driven implementations of the protocol families the DSM
+//! literature of 1989–1994 is built on:
+//!
+//! | kind | model | mechanism |
+//! |------|-------|-----------|
+//! | [`ProtocolKind::IvyCentral`] / [`ProtocolKind::IvyFixed`] / [`ProtocolKind::IvyDynamic`] | sequential consistency | write-invalidate, single writer, Li & Hudak's three manager schemes |
+//! | [`ProtocolKind::Migrate`] | sequential consistency | single copy, page migration |
+//! | [`ProtocolKind::Update`] | sequential consistency | write-update with home sequencing ("eager sharing") |
+//! | [`ProtocolKind::Erc`] | eager release consistency | twin/diff multiple writers, flush-on-release (Munin) |
+//! | [`ProtocolKind::Lrc`] | lazy release consistency | vector timestamps, intervals, write notices, lazy diffs (TreadMarks) |
+//! | [`ProtocolKind::Entry`] | entry consistency | data bound to locks, updates ride grants (Midway) |
+//!
+//! Every protocol implements [`Protocol`]: faults and sync hooks in,
+//! [`ProtoMsg`] messages and [`ProtoEvent`]s out. The runtime in
+//! `dsm-core` owns the frame table and the event plumbing.
+
+mod api;
+mod entry;
+mod erc;
+mod ivy;
+mod kind;
+mod lrc;
+mod migrate;
+mod msg;
+mod update;
+
+pub use api::{ProtoEvent, ProtoIo, Protocol, WriteOutcome};
+pub use entry::{Entry, EntryBinding};
+pub use erc::Erc;
+pub use ivy::{Ivy, ManagerScheme};
+pub use kind::ProtocolKind;
+pub use lrc::Lrc;
+pub use migrate::Migrate;
+pub use msg::{Piggy, ProtoMsg};
+pub use update::Update;

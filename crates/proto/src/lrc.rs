@@ -1,0 +1,523 @@
+//! Lazy release consistency (TreadMarks).
+//!
+//! Nothing moves at release time. Each node's execution is divided into
+//! *intervals* (closed at each release/barrier departure when the node
+//! has written). Closing an interval snapshots the dirty pages' diffs
+//! and records a write notice per page. On lock acquire, the granter
+//! piggybacks the interval records the acquirer hasn't seen (computed
+//! from the acquirer's vector clock, which rides the lock request);
+//! the acquirer merely *invalidates* the noticed pages. Only when an
+//! invalidated page is actually touched are its missing diffs fetched —
+//! from their creators — and applied in causal order.
+//!
+//! Deviations from TreadMarks proper, chosen for clarity and noted in
+//! DESIGN.md: diffs are created eagerly at interval close (TreadMarks
+//! defers even diff creation until first request); when a faulting node
+//! holds no base copy of a page it fetches a full current copy from the
+//! causally-latest writer (plus diffs for any concurrent intervals),
+//! where TreadMarks reconstructs from base + all diffs; and diff
+//! garbage collection is omitted (intervals are retained for the run).
+
+use crate::api::{ProtoEvent, ProtoIo, Protocol};
+use crate::msg::{Piggy, ProtoMsg};
+use dsm_mem::{
+    Access, FrameTable, IntervalId, IntervalRecord, PageDiff, PageId, SpaceLayout, VClock,
+};
+use dsm_net::NodeId;
+use dsm_sync::LockId;
+use std::collections::HashMap;
+
+/// One in-flight local fault.
+#[derive(Debug)]
+struct LrcPending {
+    page: usize,
+    write: bool,
+    /// Reply messages still expected (diff batches + optional full page).
+    awaiting: u32,
+    /// Diffs collected so far, to be applied causally once complete.
+    diffs: Vec<(IntervalId, PageDiff)>,
+    /// Full page image, if one was requested.
+    full: Option<Box<[u8]>>,
+}
+
+/// LRC protocol state for one node.
+pub struct Lrc {
+    layout: SpaceLayout,
+    me: NodeId,
+    nnodes: u32,
+    /// This node's vector time: `vt[i]` = latest interval of node i
+    /// whose record is in `log`.
+    vt: VClock,
+    /// Twins of pages dirtied in the current (open) interval.
+    twins: HashMap<usize, Box<[u8]>>,
+    /// Diffs of this node's own closed intervals: (page, seq) → diff.
+    my_diffs: HashMap<(usize, u32), PageDiff>,
+    /// Every interval record this node knows (its own and received).
+    log: HashMap<IntervalId, IntervalRecord>,
+    /// Unapplied write notices per page.
+    missing: HashMap<usize, Vec<IntervalId>>,
+    pending: Option<LrcPending>,
+    /// Vector time as of the last barrier: every node provably holds
+    /// every record at or below it, so barrier arrivals only carry
+    /// records authored since (TreadMarks' barrier-time record GC).
+    barrier_vt: VClock,
+}
+
+impl Lrc {
+    pub fn new(me: NodeId, layout: SpaceLayout) -> Self {
+        let nnodes = layout.nnodes();
+        Lrc {
+            layout,
+            me,
+            nnodes,
+            vt: VClock::new(nnodes as usize),
+            twins: HashMap::new(),
+            my_diffs: HashMap::new(),
+            log: HashMap::new(),
+            missing: HashMap::new(),
+            pending: None,
+            barrier_vt: VClock::new(nnodes as usize),
+        }
+    }
+
+    fn home_of(&self, page: usize) -> NodeId {
+        self.layout.home_of(PageId(page))
+    }
+
+    /// Close the current interval if this node has written anything.
+    fn close_interval(&mut self, mem: &mut FrameTable) {
+        if self.twins.is_empty() {
+            return;
+        }
+        let seq = self.vt.inc(self.me.index());
+        let twins = std::mem::take(&mut self.twins);
+        let mut pages = Vec::with_capacity(twins.len());
+        for (page, twin) in twins {
+            let cur = mem.page_bytes(PageId(page)).expect("dirty page vanished");
+            let diff = PageDiff::create(&twin, cur);
+            mem.set_access(PageId(page), Access::Read);
+            self.my_diffs.insert((page, seq), diff);
+            pages.push(PageId(page));
+        }
+        pages.sort();
+        let id = IntervalId::new(self.me, seq);
+        let rec = IntervalRecord { id, vc: self.vt.clone(), pages };
+        self.log.insert(id, rec);
+    }
+
+    /// Ingest interval records received with a grant or barrier
+    /// release: log them, advance the clock, and invalidate noticed
+    /// pages.
+    fn ingest(&mut self, mem: &mut FrameTable, records: Vec<IntervalRecord>) {
+        for rec in records {
+            // Already-known records are common (a centralized lock
+            // server deposits the releaser's full set, which can come
+            // straight back to it); skip before asserting.
+            if self.log.contains_key(&rec.id) {
+                continue;
+            }
+            debug_assert_ne!(
+                rec.id.node, self.me,
+                "an unknown own record cannot exist elsewhere"
+            );
+            self.vt.join(&rec.vc);
+            for page in &rec.pages {
+                self.missing.entry(page.0).or_default().push(rec.id);
+                // Invalidate any local copy; a concurrent local twin is
+                // kept — the remote diffs will be folded into it at the
+                // next fault.
+                mem.invalidate(*page);
+            }
+            self.log.insert(rec.id, rec);
+        }
+    }
+
+    /// Records in our log the holder of `their_vt` has not seen.
+    fn records_missing_for(&self, their_vt: &VClock) -> Vec<IntervalRecord> {
+        let mut recs: Vec<IntervalRecord> = self
+            .log
+            .values()
+            .filter(|r| r.id.seq > their_vt.get(r.id.node.index()))
+            .cloned()
+            .collect();
+        recs.sort_by_key(|r| r.id);
+        recs
+    }
+
+    /// Start fetching whatever `page` needs; returns true if nothing
+    /// was needed (fault resolved synchronously).
+    fn fault(
+        &mut self,
+        io: &mut dyn ProtoIo,
+        mem: &mut FrameTable,
+        page: PageId,
+        write: bool,
+    ) -> bool {
+        let p = page.0;
+        let notices = self.missing.remove(&p).unwrap_or_default();
+        let have_copy = mem.page_bytes(page).is_some();
+
+        if notices.is_empty() && have_copy {
+            // Pure access upgrade: readable copy or new writer.
+            if write {
+                self.twin(mem, p);
+            } else {
+                mem.set_access(page, Access::Read);
+            }
+            return true;
+        }
+
+        if notices.is_empty() {
+            // First touch, nothing known missing: a current copy from
+            // the page's home is causally sufficient.
+            let home = self.home_of(p);
+            if home == self.me {
+                mem.install_zeroed(page, Access::Read);
+                if write {
+                    self.twin(mem, p);
+                }
+                return true;
+            }
+            self.pending = Some(LrcPending {
+                page: p,
+                write,
+                awaiting: 1,
+                diffs: Vec::new(),
+                full: None,
+            });
+            io.send(home, ProtoMsg::LrcPageReq { page: p });
+            return false;
+        }
+
+        // There are unseen writes. Decide what to fetch.
+        let mut awaiting = 0u32;
+        if have_copy {
+            // Fetch just the missing diffs, grouped by creator.
+            let mut by_creator: HashMap<NodeId, Vec<IntervalId>> = HashMap::new();
+            for id in notices {
+                by_creator.entry(id.node).or_default().push(id);
+            }
+            let mut creators: Vec<_> = by_creator.into_iter().collect();
+            creators.sort_by_key(|(n, _)| *n);
+            for (creator, ids) in creators {
+                io.send(creator, ProtoMsg::LrcDiffReq { page: p, ids });
+                awaiting += 1;
+            }
+        } else {
+            // No base copy: full page from the causally latest writer
+            // covers every interval it dominates; concurrent intervals
+            // still need their diffs.
+            // Pick a causally maximal notice (domination is a partial
+            // order, so scan rather than sort).
+            let mut latest = notices[0];
+            for id in &notices[1..] {
+                if self.log[id].vc.dominates(&self.log[&latest].vc) {
+                    latest = *id;
+                }
+            }
+            let latest_vc = self.log[&latest].vc.clone();
+            io.send(latest.node, ProtoMsg::LrcPageReq { page: p });
+            awaiting += 1;
+            let mut by_creator: HashMap<NodeId, Vec<IntervalId>> = HashMap::new();
+            for id in notices {
+                if id == latest {
+                    continue;
+                }
+                let vc = &self.log[&id].vc;
+                if latest_vc.dominates(vc) {
+                    continue; // covered by the full copy
+                }
+                by_creator.entry(id.node).or_default().push(id);
+            }
+            let mut creators: Vec<_> = by_creator.into_iter().collect();
+            creators.sort_by_key(|(n, _)| *n);
+            for (creator, ids) in creators {
+                io.send(creator, ProtoMsg::LrcDiffReq { page: p, ids });
+                awaiting += 1;
+            }
+        }
+        self.pending = Some(LrcPending {
+            page: p,
+            write,
+            awaiting,
+            diffs: Vec::new(),
+            full: None,
+        });
+        false
+    }
+
+    fn twin(&mut self, mem: &mut FrameTable, page: usize) {
+        // Idempotent: a page already twinned in this interval keeps its
+        // original twin, or the earlier local writes would vanish from
+        // the eventual diff.
+        if !self.twins.contains_key(&page) {
+            let data = mem
+                .page_bytes(PageId(page))
+                .expect("twin of missing page")
+                .to_vec()
+                .into_boxed_slice();
+            self.twins.insert(page, data);
+        }
+        mem.set_access(PageId(page), Access::Write);
+    }
+
+    /// A reply arrived; if the fault is fully served, reconstruct the
+    /// page and report readiness.
+    fn maybe_complete(&mut self, mem: &mut FrameTable, events: &mut Vec<ProtoEvent>) {
+        let done = matches!(&self.pending, Some(p) if p.awaiting == 0);
+        if !done {
+            return;
+        }
+        let mut pend = self.pending.take().unwrap();
+        let page = PageId(pend.page);
+        if let Some(full) = pend.full.take() {
+            mem.install(page, full, Access::Read);
+        }
+        // Apply collected diffs in causal order; concurrent diffs are
+        // disjoint (data-race-free program) so their mutual order is
+        // irrelevant — interval id breaks the tie deterministically.
+        pend.diffs.sort_by(|(a, _), (b, _)| {
+            let va = &self.log[a].vc;
+            let vb = &self.log[b].vc;
+            va.causal_cmp(vb).unwrap_or_else(|| a.cmp(b))
+        });
+        {
+            let bytes = mem
+                .page_bytes_mut(page)
+                .expect("fault completion without a frame");
+            for (_, diff) in &pend.diffs {
+                diff.apply(bytes);
+            }
+        }
+        // Fold remote writes into a concurrent local twin so our own
+        // diff stays disjoint.
+        if let Some(twin) = self.twins.get_mut(&pend.page) {
+            for (_, diff) in &pend.diffs {
+                diff.apply(twin);
+            }
+        }
+        mem.set_access(page, Access::Read);
+        if pend.write || self.twins.contains_key(&pend.page) {
+            // New writer, or still writing this page in the open
+            // interval (twin() is idempotent).
+            self.twin(mem, pend.page);
+        }
+        events.push(ProtoEvent::PageReady(page));
+    }
+}
+
+impl Protocol for Lrc {
+    fn name(&self) -> &'static str {
+        "lrc"
+    }
+
+    fn on_start(&mut self, _io: &mut dyn ProtoIo, mem: &mut FrameTable) {
+        for p in self.layout.pages_of(self.me) {
+            mem.install_zeroed(p, Access::Read);
+        }
+    }
+
+    fn read_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
+        self.fault(io, mem, page, false)
+    }
+
+    fn write_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
+        self.fault(io, mem, page, true)
+    }
+
+    fn on_message(
+        &mut self,
+        io: &mut dyn ProtoIo,
+        mem: &mut FrameTable,
+        from: NodeId,
+        msg: ProtoMsg,
+        events: &mut Vec<ProtoEvent>,
+    ) {
+        match msg {
+            ProtoMsg::LrcPageReq { page } => {
+                // Serve our current copy (we are the home or the latest
+                // writer; either way our bytes cover the requester's
+                // causal past).
+                if mem.page_bytes(PageId(page)).is_none() {
+                    debug_assert_eq!(self.home_of(page), self.me);
+                    mem.install_zeroed(PageId(page), Access::Read);
+                }
+                let data = mem
+                    .page_bytes(PageId(page))
+                    .unwrap()
+                    .to_vec()
+                    .into_boxed_slice();
+                io.send(from, ProtoMsg::LrcPageRep { page, data });
+            }
+            ProtoMsg::LrcPageRep { page, data } => {
+                let pend = self.pending.as_mut().expect("unsolicited page");
+                assert_eq!(pend.page, page);
+                pend.full = Some(data);
+                pend.awaiting -= 1;
+                self.maybe_complete(mem, events);
+            }
+            ProtoMsg::LrcDiffReq { page, ids } => {
+                let diffs: Vec<(IntervalId, PageDiff)> = ids
+                    .into_iter()
+                    .map(|id| {
+                        debug_assert_eq!(id.node, self.me);
+                        let d = self
+                            .my_diffs
+                            .get(&(page, id.seq))
+                            .unwrap_or_else(|| {
+                                panic!("{} has no diff for p{page}@{:?}", self.me, id)
+                            })
+                            .clone();
+                        (id, d)
+                    })
+                    .collect();
+                io.send(from, ProtoMsg::LrcDiffRep { page, diffs });
+            }
+            ProtoMsg::LrcDiffRep { page, diffs } => {
+                let pend = self.pending.as_mut().expect("unsolicited diffs");
+                assert_eq!(pend.page, page);
+                pend.diffs.extend(diffs);
+                pend.awaiting -= 1;
+                self.maybe_complete(mem, events);
+            }
+            other => {
+                panic!("lrc got unexpected message {}", dsm_net::Payload::kind(&other))
+            }
+        }
+    }
+
+    fn pre_release(
+        &mut self,
+        _io: &mut dyn ProtoIo,
+        mem: &mut FrameTable,
+        _lock: Option<LockId>,
+    ) -> bool {
+        self.close_interval(mem);
+        true // lazy: nothing travels at release time
+    }
+
+    fn acquire_reqinfo(&mut self, _mem: &mut FrameTable, _lock: LockId) -> Piggy {
+        Piggy::LrcClock(self.vt.clone())
+    }
+
+    fn grant_piggy(
+        &mut self,
+        _io: &mut dyn ProtoIo,
+        _mem: &mut FrameTable,
+        _lock: LockId,
+        _to: NodeId,
+        reqinfo: &Piggy,
+    ) -> Piggy {
+        match reqinfo {
+            Piggy::LrcClock(their_vt) => {
+                Piggy::LrcIntervals(self.records_missing_for(their_vt))
+            }
+            Piggy::None => {
+                // No clock available (e.g. a centralized server grant on
+                // behalf of an unknown releaser): send everything.
+                Piggy::LrcIntervals(self.records_missing_for(&VClock::new(
+                    self.nnodes as usize,
+                )))
+            }
+            other => panic!("lrc grant with unexpected reqinfo {other:?}"),
+        }
+    }
+
+    fn release_piggy(
+        &mut self,
+        _io: &mut dyn ProtoIo,
+        _mem: &mut FrameTable,
+        _lock: LockId,
+    ) -> Piggy {
+        // Centralized server: the next grantee is unknown, so deposit
+        // the full record set — the documented cost of pairing LRC with
+        // a central lock.
+        Piggy::LrcIntervals(self.records_missing_for(&VClock::new(self.nnodes as usize)))
+    }
+
+    fn on_acquired(
+        &mut self,
+        _io: &mut dyn ProtoIo,
+        mem: &mut FrameTable,
+        _lock: LockId,
+        piggy: Piggy,
+    ) {
+        match piggy {
+            Piggy::LrcIntervals(records) => self.ingest(mem, records),
+            Piggy::None => {}
+            other => panic!("lrc acquired with unexpected piggy {other:?}"),
+        }
+    }
+
+    fn barrier_piggy(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable) -> Piggy {
+        // pre_release already closed the interval. Only records authored
+        // since the last barrier travel: the previous barrier proved
+        // everyone holds everything older.
+        let floor = self.barrier_vt.get(self.me.index());
+        let mut records: Vec<IntervalRecord> = self
+            .log
+            .values()
+            .filter(|r| r.id.node == self.me && r.id.seq > floor)
+            .cloned()
+            .collect();
+        records.sort_by_key(|r| r.id);
+        Piggy::LrcBarrier { vt: self.vt.clone(), records }
+    }
+
+    fn merge_barrier(
+        &mut self,
+        _io: &mut dyn ProtoIo,
+        _mem: &mut FrameTable,
+        arrivals: Vec<(NodeId, Piggy)>,
+        nnodes: u32,
+    ) -> Vec<(NodeId, Piggy)> {
+        // Pool every record ever authored (each node's arrival carries
+        // its complete authored history), then hand each node exactly
+        // what its clock says it lacks.
+        let mut pool: HashMap<IntervalId, IntervalRecord> = HashMap::new();
+        let mut clocks: HashMap<NodeId, VClock> = HashMap::new();
+        for (node, piggy) in arrivals {
+            match piggy {
+                Piggy::LrcBarrier { vt, records } => {
+                    clocks.insert(node, vt);
+                    for r in records {
+                        pool.insert(r.id, r);
+                    }
+                }
+                other => panic!("lrc barrier arrival with {other:?}"),
+            }
+        }
+        (0..nnodes)
+            .map(|i| {
+                let node = NodeId(i);
+                let vt = &clocks[&node];
+                let mut recs: Vec<IntervalRecord> = pool
+                    .values()
+                    .filter(|r| {
+                        r.id.node != node && r.id.seq > vt.get(r.id.node.index())
+                    })
+                    .cloned()
+                    .collect();
+                recs.sort_by_key(|r| r.id);
+                (node, Piggy::LrcIntervals(recs))
+            })
+            .collect()
+    }
+
+    fn on_barrier_released(
+        &mut self,
+        _io: &mut dyn ProtoIo,
+        mem: &mut FrameTable,
+        piggy: Piggy,
+    ) {
+        match piggy {
+            Piggy::LrcIntervals(records) => {
+                self.ingest(mem, records);
+                // Everyone now holds everything up to the barrier.
+                self.barrier_vt = self.vt.clone();
+            }
+            Piggy::None => {}
+            other => panic!("lrc barrier release with {other:?}"),
+        }
+    }
+}

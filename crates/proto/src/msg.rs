@@ -1,0 +1,287 @@
+//! Coherence wire messages and the consistency piggyback.
+//!
+//! All protocols share one message namespace (each uses its subset);
+//! this keeps the runtime's dispatch trivial and the traffic statistics
+//! uniform across protocols.
+
+use dsm_mem::{IntervalId, IntervalRecord, NodeSet, PageDiff, VClock};
+use dsm_net::{NodeId, Payload};
+use dsm_sync::SyncPiggy;
+
+/// Coherence protocol messages. Page ids travel as raw `usize`.
+#[derive(Debug)]
+pub enum ProtoMsg {
+    // ---- IVY write-invalidate (all manager schemes) ----
+    /// Read fault: requester → manager (or probable-owner chain).
+    ReadReq { page: usize },
+    /// Write fault: requester → manager (or probable-owner chain).
+    WriteReq { page: usize },
+    /// Manager → owner: send a read copy to `requester`.
+    FwdRead { page: usize, requester: NodeId },
+    /// Manager → owner: transfer ownership to `requester`, who must
+    /// await `ninval` invalidation acks.
+    FwdWrite { page: usize, requester: NodeId, ninval: u32 },
+    /// Owner → requester: a read copy.
+    PageRead { page: usize, data: Box<[u8]> },
+    /// Owner → requester: ownership (+ data unless the requester
+    /// already holds a copy; + copyset under the dynamic scheme).
+    PageOwn {
+        page: usize,
+        data: Option<Box<[u8]>>,
+        ninval: u32,
+        copyset: Option<NodeSet>,
+    },
+    /// Invalidate your copy; `new_owner` is the probable-owner hint.
+    Inval { page: usize, new_owner: NodeId },
+    /// Copy invalidated (sent to the new owner / requester).
+    InvalAck { page: usize },
+    /// Requester → manager: transaction complete; `owner` is the
+    /// resulting owner, `write` tells the manager how to update the
+    /// copyset.
+    Confirm { page: usize, owner: NodeId, write: bool },
+
+    // ---- page migration (single copy) ----
+    MigReq { page: usize },
+    MigFwd { page: usize, requester: NodeId },
+    MigPage { page: usize, data: Box<[u8]> },
+    MigConfirm { page: usize, holder: NodeId },
+
+    // ---- write-update (home-sequenced) ----
+    /// Writer → home: apply and multicast this write.
+    UpdWrite { page: usize, off: u32, data: Box<[u8]> },
+    /// Home → copy holder: apply this write (per-page sequenced).
+    UpdApply { page: usize, off: u32, data: Box<[u8]>, seq: u64 },
+    /// Home → writer: your write is globally ordered.
+    UpdAck { page: usize },
+    /// Read miss: requester → home.
+    FetchReq { page: usize },
+    /// Home → requester: current master copy. `seq` is the page's
+    /// current update sequence number (write-update protocol), letting
+    /// the new copy holder verify the per-page update stream stays
+    /// gapless from here on.
+    FetchRep { page: usize, data: Box<[u8]>, seq: u64 },
+
+    // ---- eager release consistency (Munin write-shared) ----
+    /// Writer → home: diffs for pages homed there (one flush id per
+    /// release).
+    DiffFlush { flush: u64, diffs: Vec<(usize, PageDiff)> },
+    /// Home → copy holder: apply these diffs.
+    DiffApply { flush: u64, home: NodeId, diffs: Vec<(usize, PageDiff)> },
+    /// Copy holder → home: diffs applied.
+    DiffApplyAck { flush: u64 },
+    /// Home → writer: all copies updated for your flush.
+    FlushAck { flush: u64 },
+
+    // ---- lazy release consistency (TreadMarks) ----
+    /// Fetch the diffs of the given intervals for `page` from their
+    /// creator.
+    LrcDiffReq { page: usize, ids: Vec<IntervalId> },
+    LrcDiffRep { page: usize, diffs: Vec<(IntervalId, PageDiff)> },
+    /// Fetch a full current copy (first access / no base copy).
+    LrcPageReq { page: usize },
+    LrcPageRep { page: usize, data: Box<[u8]> },
+}
+
+impl Payload for ProtoMsg {
+    fn wire_bytes(&self) -> usize {
+        use ProtoMsg::*;
+        match self {
+            ReadReq { .. } | WriteReq { .. } | MigReq { .. } | FetchReq { .. }
+            | LrcPageReq { .. } => 8,
+            FwdRead { .. } | MigFwd { .. } => 12,
+            FwdWrite { .. } => 16,
+            PageRead { data, .. } | MigPage { data, .. } | LrcPageRep { data, .. } => {
+                8 + data.len()
+            }
+            FetchRep { data, .. } => 16 + data.len(),
+            PageOwn { data, copyset, .. } => {
+                16 + data.as_ref().map_or(0, |d| d.len())
+                    + copyset.as_ref().map_or(0, |c| 8 + c.len() * 4)
+            }
+            Inval { .. } => 12,
+            InvalAck { .. } | UpdAck { .. } | MigConfirm { .. } => 8,
+            Confirm { .. } => 13,
+            UpdWrite { data, .. } => 16 + data.len(),
+            UpdApply { data, .. } => 24 + data.len(),
+            DiffFlush { diffs, .. } | DiffApply { diffs, .. } => {
+                8 + diffs.iter().map(|(_, d)| 8 + d.wire_bytes()).sum::<usize>()
+            }
+            DiffApplyAck { .. } | FlushAck { .. } => 8,
+            LrcDiffReq { ids, .. } => 8 + ids.len() * 8,
+            LrcDiffRep { diffs, .. } => {
+                8 + diffs.iter().map(|(_, d)| 8 + d.wire_bytes()).sum::<usize>()
+            }
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        use ProtoMsg::*;
+        match self {
+            ReadReq { .. } => "ReadReq",
+            WriteReq { .. } => "WriteReq",
+            FwdRead { .. } => "FwdRead",
+            FwdWrite { .. } => "FwdWrite",
+            PageRead { .. } => "PageRead",
+            PageOwn { .. } => "PageOwn",
+            Inval { .. } => "Inval",
+            InvalAck { .. } => "InvalAck",
+            Confirm { .. } => "Confirm",
+            MigReq { .. } => "MigReq",
+            MigFwd { .. } => "MigFwd",
+            MigPage { .. } => "MigPage",
+            MigConfirm { .. } => "MigConfirm",
+            UpdWrite { .. } => "UpdWrite",
+            UpdApply { .. } => "UpdApply",
+            UpdAck { .. } => "UpdAck",
+            FetchReq { .. } => "FetchReq",
+            FetchRep { .. } => "FetchRep",
+            DiffFlush { .. } => "DiffFlush",
+            DiffApply { .. } => "DiffApply",
+            DiffApplyAck { .. } => "DiffApplyAck",
+            FlushAck { .. } => "FlushAck",
+            LrcDiffReq { .. } => "LrcDiffReq",
+            LrcDiffRep { .. } => "LrcDiffRep",
+            LrcPageReq { .. } => "LrcPageReq",
+            LrcPageRep { .. } => "LrcPageRep",
+        }
+    }
+}
+
+/// Consistency payload piggybacked on synchronization messages.
+#[derive(Debug)]
+pub enum Piggy {
+    /// No consistency information.
+    None,
+    /// Acquirer's vector clock (LRC lock requests — lets the granter
+    /// send only the missing intervals).
+    LrcClock(VClock),
+    /// Interval records the receiver is missing (LRC grants, barrier
+    /// payloads).
+    LrcIntervals(Vec<IntervalRecord>),
+    /// LRC barrier arrival: the arriver's vector clock plus every
+    /// interval record it has authored (the root computes each node's
+    /// missing set from these).
+    LrcBarrier { vt: VClock, records: Vec<IntervalRecord> },
+    /// Entry-consistency lock request info: the highest update version
+    /// the acquirer has applied for this lock's regions.
+    EntryVer(u64),
+    /// Entry-consistency grant: the guarded regions' update log entries
+    /// the acquirer is missing. Each entry is (version, changes), each
+    /// change a region index + byte-run diff relative to the region
+    /// start — only dirty data travels, as in Midway.
+    EntryLog(Vec<(u64, Vec<(u32, PageDiff)>)>),
+    /// Entry-consistency barrier arrival: page diffs of everything this
+    /// node wrote (outside guarded regions) since the last barrier,
+    /// plus, per lock, its current version and the log entries created
+    /// since the last barrier — barriers synchronize guarded data too.
+    EntryArrive {
+        diffs: Vec<(usize, PageDiff)>,
+        locks: Vec<(u32, u64, Vec<(u64, Vec<(u32, PageDiff)>)>)>,
+    },
+    /// Entry-consistency barrier release: merged images of every page
+    /// dirtied across the barrier, plus per-lock log entries the
+    /// receiver is missing.
+    EntryRelease {
+        pages: Vec<(usize, Box<[u8]>)>,
+        locks: Vec<(u32, Vec<(u64, Vec<(u32, PageDiff)>)>)>,
+    },
+}
+
+impl SyncPiggy for Piggy {
+    fn empty() -> Self {
+        Piggy::None
+    }
+
+    fn wire_bytes(&self) -> usize {
+        match self {
+            Piggy::None => 0,
+            Piggy::LrcClock(vc) => vc.wire_bytes(),
+            Piggy::LrcIntervals(recs) => {
+                recs.iter().map(|r| r.wire_bytes()).sum::<usize>()
+            }
+            Piggy::LrcBarrier { vt, records } => {
+                vt.wire_bytes()
+                    + records.iter().map(|r| r.wire_bytes()).sum::<usize>()
+            }
+            Piggy::EntryVer(_) => 8,
+            Piggy::EntryLog(entries) => entries
+                .iter()
+                .map(|(_, changes)| {
+                    12 + changes.iter().map(|(_, d)| 8 + d.wire_bytes()).sum::<usize>()
+                })
+                .sum::<usize>(),
+            Piggy::EntryArrive { diffs, locks } => {
+                diffs.iter().map(|(_, d)| 8 + d.wire_bytes()).sum::<usize>()
+                    + locks
+                        .iter()
+                        .map(|(_, _, es)| {
+                            16 + es
+                                .iter()
+                                .map(|(_, ch)| {
+                                    12 + ch
+                                        .iter()
+                                        .map(|(_, d)| 8 + d.wire_bytes())
+                                        .sum::<usize>()
+                                })
+                                .sum::<usize>()
+                        })
+                        .sum::<usize>()
+            }
+            Piggy::EntryRelease { pages, locks } => {
+                pages.iter().map(|(_, b)| 8 + b.len()).sum::<usize>()
+                    + locks
+                        .iter()
+                        .map(|(_, es)| {
+                            8 + es
+                                .iter()
+                                .map(|(_, ch)| {
+                                    12 + ch
+                                        .iter()
+                                        .map(|(_, d)| 8 + d.wire_bytes())
+                                        .sum::<usize>()
+                                })
+                                .sum::<usize>()
+                        })
+                        .sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_messages_cost_their_payload() {
+        let m = ProtoMsg::PageRead { page: 1, data: vec![0u8; 4096].into_boxed_slice() };
+        assert_eq!(m.wire_bytes(), 8 + 4096);
+        assert_eq!(m.kind(), "PageRead");
+    }
+
+    #[test]
+    fn piggy_sizes() {
+        assert_eq!(Piggy::None.wire_bytes(), 0);
+        assert_eq!(Piggy::EntryVer(3).wire_bytes(), 8);
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        cur[0] = 1;
+        let d = PageDiff::create(&twin, &cur);
+        let dw = d.wire_bytes();
+        let p = Piggy::EntryLog(vec![(1, vec![(0, d)])]);
+        assert_eq!(p.wire_bytes(), 12 + 8 + dw);
+        let vc = VClock::new(8);
+        assert_eq!(Piggy::LrcClock(vc).wire_bytes(), 32);
+    }
+
+    #[test]
+    fn diff_messages_cost_encoded_size() {
+        let twin = vec![0u8; 128];
+        let mut cur = twin.clone();
+        cur[0] = 1;
+        let d = PageDiff::create(&twin, &cur);
+        let wire = d.wire_bytes();
+        let m = ProtoMsg::DiffFlush { flush: 1, diffs: vec![(0, d)] };
+        assert_eq!(m.wire_bytes(), 8 + 8 + wire);
+    }
+}

@@ -1,0 +1,354 @@
+//! Distributed barriers: centralized manager and k-ary combining tree.
+//!
+//! The barrier is also a consistency point for most DSM protocols, so
+//! arrivals carry per-node piggybacks up to the root, the embedding
+//! runtime merges them there (protocol-specific), and per-node payloads
+//! flow back down with the release.
+
+use crate::msg::{BarrierId, SyncIo, SyncMsg, SyncPiggy};
+use dsm_net::NodeId;
+use std::collections::HashMap;
+
+/// Barrier topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierKind {
+    /// Every node reports to the root; the root releases everyone.
+    Central,
+    /// Combining tree with the given arity (≥ 2); arrivals combine on
+    /// the way up, releases fan out on the way down.
+    Tree(u32),
+}
+
+/// Events the engine reports to the embedding runtime.
+#[derive(Debug)]
+pub enum BarrierEvent<P> {
+    /// Root only: everyone has arrived. Merge the contributions and
+    /// call [`BarrierEngine::release`] with one payload per node.
+    AllArrived { id: BarrierId, contributions: Vec<(NodeId, P)> },
+    /// This node has been released from the barrier with `piggy`.
+    Released { id: BarrierId, piggy: P },
+}
+
+#[derive(Debug)]
+struct PerBarrier<P> {
+    /// Contributions gathered from this node's subtree (including its
+    /// own) for the current episode.
+    gathered: Vec<(NodeId, P)>,
+    /// Whether this node itself has arrived in the current episode.
+    arrived_self: bool,
+}
+
+impl<P> Default for PerBarrier<P> {
+    fn default() -> Self {
+        PerBarrier { gathered: Vec::new(), arrived_self: false }
+    }
+}
+
+/// Per-node barrier engine (root is always node 0).
+#[derive(Debug)]
+pub struct BarrierEngine<P> {
+    kind: BarrierKind,
+    me: NodeId,
+    nnodes: u32,
+    state: HashMap<BarrierId, PerBarrier<P>>,
+}
+
+impl<P: SyncPiggy> BarrierEngine<P> {
+    pub fn new(kind: BarrierKind, me: NodeId, nnodes: u32) -> Self {
+        if let BarrierKind::Tree(k) = kind {
+            assert!(k >= 2, "tree arity must be >= 2");
+        }
+        BarrierEngine { kind, me, nnodes, state: HashMap::new() }
+    }
+
+    pub fn kind(&self) -> BarrierKind {
+        self.kind
+    }
+
+    fn parent(&self, node: NodeId) -> Option<NodeId> {
+        match self.kind {
+            BarrierKind::Central => {
+                if node.0 == 0 {
+                    None
+                } else {
+                    Some(NodeId(0))
+                }
+            }
+            BarrierKind::Tree(k) => {
+                if node.0 == 0 {
+                    None
+                } else {
+                    Some(NodeId((node.0 - 1) / k))
+                }
+            }
+        }
+    }
+
+    fn children(&self, node: NodeId) -> Vec<NodeId> {
+        match self.kind {
+            BarrierKind::Central => {
+                if node.0 == 0 {
+                    (1..self.nnodes).map(NodeId).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            BarrierKind::Tree(k) => (1..=k)
+                .map(|i| node.0 * k + i)
+                .filter(|&c| c < self.nnodes)
+                .map(NodeId)
+                .collect(),
+        }
+    }
+
+    /// Nodes in `node`'s subtree (including itself).
+    fn subtree_size(&self, node: NodeId) -> u32 {
+        1 + self
+            .children(node)
+            .iter()
+            .map(|&c| self.subtree_size(c))
+            .sum::<u32>()
+    }
+
+    /// This node arrives at barrier `id` with `piggy`. May emit
+    /// [`BarrierEvent::AllArrived`] (root, everyone in) — never
+    /// `Released`; even the root waits for the runtime to call
+    /// [`BarrierEngine::release`].
+    pub fn arrive(
+        &mut self,
+        io: &mut dyn SyncIo<P>,
+        id: BarrierId,
+        piggy: P,
+        events: &mut Vec<BarrierEvent<P>>,
+    ) {
+        let me = self.me;
+        let s = self.state.entry(id).or_default();
+        assert!(!s.arrived_self, "{me} arrived twice at barrier {id}");
+        s.arrived_self = true;
+        s.gathered.push((me, piggy));
+        self.maybe_propagate(io, id, events);
+    }
+
+    /// Root only, in response to [`BarrierEvent::AllArrived`]: release
+    /// every node with its own payload. `releases` must contain exactly
+    /// one entry per node.
+    pub fn release(
+        &mut self,
+        io: &mut dyn SyncIo<P>,
+        id: BarrierId,
+        mut releases: Vec<(NodeId, P)>,
+        events: &mut Vec<BarrierEvent<P>>,
+    ) {
+        assert_eq!(self.me, NodeId(0), "only the root releases");
+        assert_eq!(releases.len() as u32, self.nnodes, "one release per node");
+        // Partition by child subtree; keep our own.
+        for child in self.children(NodeId(0)) {
+            let members = self.subtree_members(child);
+            let (for_child, rest): (Vec<_>, Vec<_>) =
+                releases.into_iter().partition(|(n, _)| members.contains(n));
+            releases = rest;
+            io.send(child, SyncMsg::BarRelease { id, releases: for_child });
+        }
+        debug_assert_eq!(releases.len(), 1);
+        let (n, piggy) = releases.pop().unwrap();
+        debug_assert_eq!(n, NodeId(0));
+        self.reset(id);
+        events.push(BarrierEvent::Released { id, piggy });
+    }
+
+    /// Feed a barrier-related message into the engine.
+    pub fn on_message(
+        &mut self,
+        io: &mut dyn SyncIo<P>,
+        _from: NodeId,
+        msg: SyncMsg<P>,
+        events: &mut Vec<BarrierEvent<P>>,
+    ) {
+        match msg {
+            SyncMsg::BarArrive { id, contributions } => {
+                let s = self.state.entry(id).or_default();
+                s.gathered.extend(contributions);
+                self.maybe_propagate(io, id, events);
+            }
+            SyncMsg::BarRelease { id, mut releases } => {
+                // Extract our own payload; forward the rest down the tree.
+                let me = self.me;
+                let idx = releases
+                    .iter()
+                    .position(|(n, _)| *n == me)
+                    .expect("release must include this node");
+                let (_, piggy) = releases.swap_remove(idx);
+                for child in self.children(me) {
+                    let members = self.subtree_members(child);
+                    let (for_child, rest): (Vec<_>, Vec<_>) =
+                        releases.into_iter().partition(|(n, _)| members.contains(n));
+                    releases = rest;
+                    if !for_child.is_empty() {
+                        io.send(child, SyncMsg::BarRelease { id, releases: for_child });
+                    }
+                }
+                debug_assert!(releases.is_empty(), "stray releases");
+                self.reset(id);
+                events.push(BarrierEvent::Released { id, piggy });
+            }
+            other => {
+                let k = dsm_net::Payload::kind(&other);
+                panic!("barrier engine got unexpected message {k}");
+            }
+        }
+    }
+
+    fn subtree_members(&self, root: NodeId) -> Vec<NodeId> {
+        let mut out = vec![root];
+        let mut i = 0;
+        while i < out.len() {
+            out.extend(self.children(out[i]));
+            i += 1;
+        }
+        out
+    }
+
+    /// If this node's whole subtree has arrived, combine upward (or
+    /// emit AllArrived at the root).
+    fn maybe_propagate(
+        &mut self,
+        io: &mut dyn SyncIo<P>,
+        id: BarrierId,
+        events: &mut Vec<BarrierEvent<P>>,
+    ) {
+        let me = self.me;
+        let expected = self.subtree_size(me) as usize;
+        let s = self.state.get_mut(&id).expect("state exists");
+        if s.gathered.len() < expected || !s.arrived_self {
+            return;
+        }
+        debug_assert_eq!(s.gathered.len(), expected);
+        let contributions = std::mem::take(&mut s.gathered);
+        match self.parent(me) {
+            None => events.push(BarrierEvent::AllArrived { id, contributions }),
+            Some(p) => {
+                // Subtree complete: combine up. Keep arrived_self so a
+                // stray duplicate arrival still asserts; full reset
+                // happens at release.
+                io.send(p, SyncMsg::BarArrive { id, contributions });
+            }
+        }
+    }
+
+    fn reset(&mut self, id: BarrierId) {
+        self.state.remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakeIo {
+        me: NodeId,
+        n: u32,
+        sent: Vec<(NodeId, SyncMsg<()>)>,
+    }
+    impl SyncIo<()> for FakeIo {
+        fn me(&self) -> NodeId {
+            self.me
+        }
+        fn nodes(&self) -> u32 {
+            self.n
+        }
+        fn send(&mut self, dst: NodeId, msg: SyncMsg<()>) {
+            self.sent.push((dst, msg));
+        }
+    }
+
+    #[test]
+    fn central_root_collects_then_all_arrived() {
+        let mut e = BarrierEngine::<()>::new(BarrierKind::Central, NodeId(0), 3);
+        let mut io = FakeIo { me: NodeId(0), n: 3, sent: Vec::new() };
+        let mut ev = Vec::new();
+        e.arrive(&mut io, 0, (), &mut ev);
+        assert!(ev.is_empty());
+        e.on_message(&mut io, NodeId(1), SyncMsg::BarArrive { id: 0, contributions: vec![(NodeId(1), ())] }, &mut ev);
+        assert!(ev.is_empty());
+        e.on_message(&mut io, NodeId(2), SyncMsg::BarArrive { id: 0, contributions: vec![(NodeId(2), ())] }, &mut ev);
+        match &ev[0] {
+            BarrierEvent::AllArrived { contributions, .. } => {
+                assert_eq!(contributions.len(), 3)
+            }
+            other => panic!("expected AllArrived, got {other:?}"),
+        }
+        // Release: root sends to each leaf and releases itself.
+        ev.clear();
+        let releases = vec![(NodeId(0), ()), (NodeId(1), ()), (NodeId(2), ())];
+        e.release(&mut io, 0, releases, &mut ev);
+        assert!(matches!(ev[0], BarrierEvent::Released { id: 0, .. }));
+        assert_eq!(io.sent.len(), 2);
+    }
+
+    #[test]
+    fn central_leaf_sends_arrival_and_gets_release() {
+        let mut e = BarrierEngine::<()>::new(BarrierKind::Central, NodeId(2), 3);
+        let mut io = FakeIo { me: NodeId(2), n: 3, sent: Vec::new() };
+        let mut ev = Vec::new();
+        e.arrive(&mut io, 7, (), &mut ev);
+        assert_eq!(io.sent.len(), 1);
+        assert_eq!(io.sent[0].0, NodeId(0));
+        e.on_message(&mut io, NodeId(0), SyncMsg::BarRelease { id: 7, releases: vec![(NodeId(2), ())] }, &mut ev);
+        assert!(matches!(ev[0], BarrierEvent::Released { id: 7, .. }));
+    }
+
+    #[test]
+    fn tree_topology_parent_child() {
+        let e = BarrierEngine::<()>::new(BarrierKind::Tree(2), NodeId(0), 7);
+        assert_eq!(e.children(NodeId(0)), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(e.children(NodeId(1)), vec![NodeId(3), NodeId(4)]);
+        assert_eq!(e.children(NodeId(2)), vec![NodeId(5), NodeId(6)]);
+        assert_eq!(e.parent(NodeId(5)), Some(NodeId(2)));
+        assert_eq!(e.parent(NodeId(0)), None);
+        assert_eq!(e.subtree_size(NodeId(1)), 3);
+        assert_eq!(e.subtree_size(NodeId(0)), 7);
+    }
+
+    #[test]
+    fn tree_interior_combines_subtree_before_forwarding() {
+        // Node 1 in a 7-node binary tree: children 3 and 4.
+        let mut e = BarrierEngine::<()>::new(BarrierKind::Tree(2), NodeId(1), 7);
+        let mut io = FakeIo { me: NodeId(1), n: 7, sent: Vec::new() };
+        let mut ev = Vec::new();
+        e.on_message(&mut io, NodeId(3), SyncMsg::BarArrive { id: 0, contributions: vec![(NodeId(3), ())] }, &mut ev);
+        assert!(io.sent.is_empty()); // own arrival and child 4 missing
+        e.arrive(&mut io, 0, (), &mut ev);
+        assert!(io.sent.is_empty()); // child 4 still missing
+        e.on_message(&mut io, NodeId(4), SyncMsg::BarArrive { id: 0, contributions: vec![(NodeId(4), ())] }, &mut ev);
+        assert_eq!(io.sent.len(), 1);
+        assert_eq!(io.sent[0].0, NodeId(0)); // combined arrival to root
+        match &io.sent[0].1 {
+            SyncMsg::BarArrive { contributions, .. } => assert_eq!(contributions.len(), 3),
+            _ => panic!("expected BarArrive"),
+        }
+    }
+
+    #[test]
+    fn tree_release_routes_payloads_down() {
+        let mut e = BarrierEngine::<()>::new(BarrierKind::Tree(2), NodeId(1), 7);
+        let mut io = FakeIo { me: NodeId(1), n: 7, sent: Vec::new() };
+        let mut ev = Vec::new();
+        let releases =
+            vec![(NodeId(1), ()), (NodeId(3), ()), (NodeId(4), ())];
+        e.on_message(&mut io, NodeId(0), SyncMsg::BarRelease { id: 0, releases }, &mut ev);
+        assert!(matches!(ev[0], BarrierEvent::Released { .. }));
+        assert_eq!(io.sent.len(), 2);
+        let dsts: Vec<NodeId> = io.sent.iter().map(|(d, _)| *d).collect();
+        assert!(dsts.contains(&NodeId(3)) && dsts.contains(&NodeId(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived twice")]
+    fn double_arrival_panics() {
+        let mut e = BarrierEngine::<()>::new(BarrierKind::Central, NodeId(1), 3);
+        let mut io = FakeIo { me: NodeId(1), n: 3, sent: Vec::new() };
+        let mut ev = Vec::new();
+        e.arrive(&mut io, 0, (), &mut ev);
+        e.arrive(&mut io, 0, (), &mut ev);
+    }
+}

@@ -1,0 +1,24 @@
+//! # dsm-sync — distributed synchronization for page-based DSM
+//!
+//! Lock and barrier engines in the style DSM systems used:
+//!
+//! * [`LockEngine`] — centralized server locks and distributed queue
+//!   locks (token handoff with forwarding through the lock's home);
+//! * [`BarrierEngine`] — centralized and combining-tree barriers.
+//!
+//! Both are pure message-driven state machines, generic over a
+//! consistency *piggyback* [`SyncPiggy`]: release consistency ships
+//! write intervals on grants, entry consistency ships guarded data, and
+//! barriers carry flush/merge payloads. [`SyncNode`] wires the engines
+//! into a standalone [`dsm_net::NodeBehavior`] for isolated tests and
+//! the lock/barrier scaling experiments.
+
+mod barrier;
+mod lock;
+mod msg;
+mod standalone;
+
+pub use barrier::{BarrierEngine, BarrierEvent, BarrierKind};
+pub use lock::{lock_home, LockEngine, LockEvent, LockKind, ReleaseAction};
+pub use msg::{BarrierId, LockId, SyncIo, SyncMsg, SyncPiggy};
+pub use standalone::{SyncNode, SyncOp};

@@ -1,0 +1,110 @@
+//! Synchronization wire messages, generic over a consistency
+//! *piggyback*.
+//!
+//! DSM synchronization and coherence are coupled: lazy release
+//! consistency ships interval records on lock grants, entry consistency
+//! ships the guarded data itself, barriers carry flush/merge payloads.
+//! The sync engines therefore treat the consistency payload as an
+//! opaque `P:`[`SyncPiggy`] supplied by the coherence layer.
+
+use dsm_net::{NodeId, Payload};
+
+/// Ids for application-level locks and barriers.
+pub type LockId = u32;
+/// Barrier identifier.
+pub type BarrierId = u32;
+
+/// Opaque consistency payload carried on sync messages.
+pub trait SyncPiggy: Send + 'static {
+    /// The "no information" payload.
+    fn empty() -> Self;
+    /// Modeled wire size contribution.
+    fn wire_bytes(&self) -> usize;
+}
+
+impl SyncPiggy for () {
+    fn empty() {}
+    fn wire_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Messages exchanged by the lock and barrier engines.
+#[derive(Debug)]
+pub enum SyncMsg<P> {
+    /// Requester → lock home. `reqinfo` lets the eventual granter
+    /// compute a minimal piggyback (e.g. the acquirer's vector clock).
+    LockReq { lock: LockId, requester: NodeId, reqinfo: P },
+    /// Home → current tail (distributed queue lock): "grant to
+    /// `requester` when you release".
+    LockFwd { lock: LockId, requester: NodeId, reqinfo: P },
+    /// Granter → requester: the lock is yours; apply `piggy` first.
+    LockGrant { lock: LockId, piggy: P },
+    /// Releaser → server (centralized lock only).
+    LockRel { lock: LockId, piggy: P },
+    /// Barrier arrival, carrying the contributions of the sender's
+    /// subtree (a single node for the centralized barrier).
+    BarArrive { id: BarrierId, contributions: Vec<(NodeId, P)> },
+    /// Barrier release flowing back down, carrying per-node payloads
+    /// for every node in the receiver's subtree.
+    BarRelease { id: BarrierId, releases: Vec<(NodeId, P)> },
+}
+
+impl<P: SyncPiggy> Payload for SyncMsg<P> {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            SyncMsg::LockReq { reqinfo, .. } => 8 + reqinfo.wire_bytes(),
+            SyncMsg::LockFwd { reqinfo, .. } => 8 + reqinfo.wire_bytes(),
+            SyncMsg::LockGrant { piggy, .. } => 4 + piggy.wire_bytes(),
+            SyncMsg::LockRel { piggy, .. } => 4 + piggy.wire_bytes(),
+            SyncMsg::BarArrive { contributions, .. } => {
+                4 + contributions
+                    .iter()
+                    .map(|(_, p)| 4 + p.wire_bytes())
+                    .sum::<usize>()
+            }
+            SyncMsg::BarRelease { releases, .. } => {
+                4 + releases.iter().map(|(_, p)| 4 + p.wire_bytes()).sum::<usize>()
+            }
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            SyncMsg::LockReq { .. } => "LockReq",
+            SyncMsg::LockFwd { .. } => "LockFwd",
+            SyncMsg::LockGrant { .. } => "LockGrant",
+            SyncMsg::LockRel { .. } => "LockRel",
+            SyncMsg::BarArrive { .. } => "BarArrive",
+            SyncMsg::BarRelease { .. } => "BarRelease",
+        }
+    }
+}
+
+/// Abstract transport the sync engines use — implemented over the
+/// simulator's [`dsm_net::Ctx`] by the runtime that embeds them.
+pub trait SyncIo<P> {
+    /// This node.
+    fn me(&self) -> NodeId;
+    /// Total nodes.
+    fn nodes(&self) -> u32;
+    /// Send a sync message.
+    fn send(&mut self, dst: NodeId, msg: SyncMsg<P>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_include_piggy() {
+        let m: SyncMsg<()> = SyncMsg::LockGrant { lock: 1, piggy: () };
+        assert_eq!(m.wire_bytes(), 4);
+        let m: SyncMsg<()> = SyncMsg::BarArrive {
+            id: 0,
+            contributions: vec![(NodeId(0), ()), (NodeId(1), ())],
+        };
+        assert_eq!(m.wire_bytes(), 4 + 8);
+        assert_eq!(m.kind(), "BarArrive");
+    }
+}

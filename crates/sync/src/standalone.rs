@@ -1,0 +1,320 @@
+//! A sync-only node behavior: lock + barrier engines with no coherence
+//! protocol attached (`()` piggybacks). Used to test and benchmark the
+//! synchronization substrate in isolation (experiments E7/E8).
+
+use crate::barrier::{BarrierEngine, BarrierEvent, BarrierKind};
+use crate::lock::{LockEngine, LockEvent, LockKind, ReleaseAction};
+use crate::msg::{BarrierId, LockId, SyncIo, SyncMsg};
+use dsm_net::{Ctx, NodeBehavior, NodeId, OpOutcome};
+
+/// Operations the application program can issue.
+#[derive(Debug, Clone, Copy)]
+pub enum SyncOp {
+    Acquire(LockId),
+    Release(LockId),
+    Barrier(BarrierId),
+}
+
+/// A node running only the synchronization machinery.
+pub struct SyncNode {
+    locks: LockEngine<()>,
+    barriers: BarrierEngine<()>,
+    /// Op the program is parked on, if any.
+    pending: Option<SyncOp>,
+    nnodes: u32,
+}
+
+impl SyncNode {
+    pub fn new(me: NodeId, nnodes: u32, lock_kind: LockKind, barrier_kind: BarrierKind) -> Self {
+        SyncNode {
+            locks: LockEngine::new(lock_kind, me, nnodes),
+            barriers: BarrierEngine::new(barrier_kind, me, nnodes),
+            pending: None,
+            nnodes,
+        }
+    }
+
+    /// Build one behavior per node.
+    pub fn cluster(nnodes: u32, lock_kind: LockKind, barrier_kind: BarrierKind) -> Vec<SyncNode> {
+        (0..nnodes)
+            .map(|i| SyncNode::new(NodeId(i), nnodes, lock_kind, barrier_kind))
+            .collect()
+    }
+}
+
+/// Adapter exposing the kernel context as the engines' [`SyncIo`].
+struct Io<'a, 'b> {
+    ctx: &'a mut Ctx<'b, SyncNode>,
+}
+
+impl SyncIo<()> for Io<'_, '_> {
+    fn me(&self) -> NodeId {
+        self.ctx.me()
+    }
+    fn nodes(&self) -> u32 {
+        self.ctx.nodes()
+    }
+    fn send(&mut self, dst: NodeId, msg: SyncMsg<()>) {
+        self.ctx.send(dst, msg);
+    }
+}
+
+impl SyncNode {
+    fn pump_lock_events(
+        locks: &mut LockEngine<()>,
+        io: &mut Io<'_, '_>,
+        events: Vec<LockEvent<()>>,
+        pending: &mut Option<SyncOp>,
+        completed: &mut bool,
+    ) {
+        for ev in events {
+            match ev {
+                LockEvent::Acquired { lock, .. } => {
+                    match pending.take() {
+                        Some(SyncOp::Acquire(l)) if l == lock => *completed = true,
+                        other => panic!("unexpected Acquired({lock}) while pending {other:?}"),
+                    }
+                }
+                LockEvent::GrantNeeded { lock, to, .. } => {
+                    locks.grant(io, lock, to, ());
+                }
+            }
+        }
+    }
+}
+
+impl NodeBehavior for SyncNode {
+    type Msg = SyncMsg<()>;
+    type Op = SyncOp;
+    type Reply = ();
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Self::Msg) {
+        let mut completed = false;
+        match msg {
+            m @ (SyncMsg::LockReq { .. }
+            | SyncMsg::LockFwd { .. }
+            | SyncMsg::LockGrant { .. }
+            | SyncMsg::LockRel { .. }) => {
+                let mut events = Vec::new();
+                {
+                    let mut io = Io { ctx };
+                    self.locks.on_message(&mut io, from, m, &mut events);
+                    Self::pump_lock_events(
+                        &mut self.locks,
+                        &mut io,
+                        events,
+                        &mut self.pending,
+                        &mut completed,
+                    );
+                }
+            }
+            m @ (SyncMsg::BarArrive { .. } | SyncMsg::BarRelease { .. }) => {
+                let mut events = Vec::new();
+                {
+                    let mut io = Io { ctx };
+                    self.barriers.on_message(&mut io, from, m, &mut events);
+                }
+                for ev in events {
+                    match ev {
+                        BarrierEvent::AllArrived { id, contributions } => {
+                            let releases =
+                                contributions.into_iter().collect::<Vec<_>>();
+                            // With () piggybacks the "merge" is identity,
+                            // but every node must get exactly one entry.
+                            debug_assert_eq!(releases.len() as u32, self.nnodes);
+                            let mut ev2 = Vec::new();
+                            let mut io = Io { ctx };
+                            self.barriers.release(&mut io, id, releases, &mut ev2);
+                            for e in ev2 {
+                                if let BarrierEvent::Released { id: rid, .. } = e {
+                                    match self.pending.take() {
+                                        Some(SyncOp::Barrier(b)) if b == rid => {
+                                            completed = true
+                                        }
+                                        other => panic!(
+                                            "unexpected barrier release {rid} while pending {other:?}"
+                                        ),
+                                    }
+                                }
+                            }
+                        }
+                        BarrierEvent::Released { id, .. } => {
+                            match self.pending.take() {
+                                Some(SyncOp::Barrier(b)) if b == id => completed = true,
+                                other => panic!(
+                                    "unexpected barrier release {id} while pending {other:?}"
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if completed {
+            ctx.complete_op(());
+        }
+    }
+
+    fn on_op(&mut self, ctx: &mut Ctx<'_, Self>, op: SyncOp) -> OpOutcome<()> {
+        match op {
+            SyncOp::Acquire(lock) => {
+                let immediate = {
+                    let mut io = Io { ctx };
+                    self.locks.acquire(&mut io, lock, ())
+                };
+                if immediate.is_some() {
+                    OpOutcome::Done(())
+                } else {
+                    self.pending = Some(op);
+                    OpOutcome::Blocked
+                }
+            }
+            SyncOp::Release(lock) => {
+                let action = self.locks.release(lock);
+                let mut io = Io { ctx };
+                match action {
+                    ReleaseAction::Local => {}
+                    ReleaseAction::GrantTo { to, .. } => {
+                        self.locks.grant(&mut io, lock, to, ());
+                    }
+                    ReleaseAction::ToServer => {
+                        self.locks.send_release(&mut io, lock, ());
+                    }
+                }
+                OpOutcome::Done(())
+            }
+            SyncOp::Barrier(id) => {
+                if ctx.nodes() == 1 {
+                    return OpOutcome::Done(());
+                }
+                let mut events = Vec::new();
+                {
+                    let mut io = Io { ctx };
+                    self.barriers.arrive(&mut io, id, (), &mut events);
+                }
+                // The root's own arrival may complete the barrier.
+                for ev in events {
+                    if let BarrierEvent::AllArrived { id, contributions } = ev {
+                        let mut ev2 = Vec::new();
+                        let mut io = Io { ctx };
+                        self.barriers.release(&mut io, id, contributions, &mut ev2);
+                        for e in ev2 {
+                            if matches!(e, BarrierEvent::Released { .. }) {
+                                return OpOutcome::Done(());
+                            }
+                        }
+                    }
+                }
+                self.pending = Some(op);
+                OpOutcome::Blocked
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_net::{AppHandle, CostModel, Dur, Sim};
+
+    type H = AppHandle<SyncOp, ()>;
+
+    fn run_cluster(
+        n: u32,
+        lock_kind: LockKind,
+        barrier_kind: BarrierKind,
+        body: impl Fn(&H) + Send + Sync,
+    ) -> dsm_net::RunResult<()> {
+        let nodes = SyncNode::cluster(n, lock_kind, barrier_kind);
+        let body = &body;
+        let programs: Vec<_> = (0..n).map(|_| move |h: &H| body(h)).collect();
+        Sim::new(nodes, CostModel::lan_1992())
+            .max_events(2_000_000)
+            .run(programs)
+    }
+
+    fn mutex_torture(lock_kind: LockKind) {
+        // Each node increments a virtual critical-section nesting
+        // counter via lock/unlock many times; the engines' internal
+        // assertions catch double grants.
+        run_cluster(5, lock_kind, BarrierKind::Central, |h: &H| {
+            for _ in 0..20 {
+                h.op(SyncOp::Acquire(3));
+                h.advance(Dur::micros(50));
+                h.op(SyncOp::Release(3));
+            }
+        });
+    }
+
+    #[test]
+    fn central_lock_survives_contention() {
+        mutex_torture(LockKind::Central);
+    }
+
+    #[test]
+    fn queue_lock_survives_contention() {
+        mutex_torture(LockKind::Queue);
+    }
+
+    #[test]
+    fn barrier_synchronizes_virtual_times() {
+        for kind in [BarrierKind::Central, BarrierKind::Tree(2)] {
+            let n = 6;
+            let nodes = SyncNode::cluster(n, LockKind::Queue, kind);
+            let programs: Vec<_> = (0..n)
+                .map(|i| {
+                    move |h: &H| {
+                        // Skewed arrival times.
+                        h.advance(Dur::millis(i as u64 + 1));
+                        h.op(SyncOp::Barrier(0));
+                        h.now()
+                    }
+                })
+                .collect();
+            let res = Sim::new(nodes, CostModel::lan_1992()).run(programs);
+            // Nobody leaves the barrier before the slowest arrival.
+            let slowest = Dur::millis(n as u64).as_nanos();
+            for t in &res.results {
+                assert!(t.as_nanos() >= slowest, "{kind:?}: left barrier early: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_barriers_reuse_state() {
+        run_cluster(4, LockKind::Queue, BarrierKind::Tree(2), |h: &H| {
+            for _ in 0..10 {
+                h.op(SyncOp::Barrier(1));
+            }
+        });
+    }
+
+    #[test]
+    fn queue_lock_cheaper_than_central_under_contention() {
+        let count = |kind| {
+            let res = run_cluster(6, kind, BarrierKind::Central, |h: &H| {
+                for _ in 0..10 {
+                    h.op(SyncOp::Acquire(0));
+                    h.advance(Dur::micros(10));
+                    h.op(SyncOp::Release(0));
+                }
+            });
+            res.stats.total_msgs()
+        };
+        let central = count(LockKind::Central);
+        let queue = count(LockKind::Queue);
+        assert!(
+            queue < central,
+            "queue lock should need fewer messages: queue={queue} central={central}"
+        );
+    }
+
+    #[test]
+    fn single_node_barrier_is_free() {
+        let res = run_cluster(1, LockKind::Queue, BarrierKind::Central, |h: &H| {
+            h.op(SyncOp::Barrier(0));
+            h.op(SyncOp::Barrier(0));
+        });
+        assert_eq!(res.stats.total_msgs(), 0);
+    }
+}

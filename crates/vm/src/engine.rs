@@ -1,0 +1,630 @@
+//! The page-fault DSM engine.
+//!
+//! N "nodes" are N threads in this process, each owning a private
+//! `mmap`-ed view of the shared space. Application code loads and
+//! stores straight into its view; when protection bits say no, the
+//! `SIGSEGV` handler files a fault request and parks the thread on a
+//! futex, a per-node *service thread* runs the coherence action
+//! (`mprotect` + page copy under a per-page lock), and the faulting
+//! instruction retries. This is the user-level mechanism IVY and
+//! TreadMarks were built on.
+//!
+//! Two coherence modes:
+//!
+//! * [`VmMode::Invalidate`] — single-writer write-invalidate with an
+//!   owner and copyset per page: sequential consistency.
+//! * [`VmMode::TwinDiff`] — multiple writers: a write fault snapshots a
+//!   twin and opens the page; [`VmNode::barrier`] diffs every twin
+//!   against the page, merges the diffs into a per-page master copy,
+//!   and invalidates local views — barrier-consistency for
+//!   data-race-free programs, immune to false sharing.
+//!
+//! Safety model: the handler is async-signal-safe (atomics, `write(2)`
+//! to a pipe, raw `futex` — no allocation, no locks). A node's view is
+//! written by its own thread, or by its service thread strictly while
+//! that thread is parked; cross-view copies read pages whose writers
+//! have been downgraded first. Programs must be data-race-free at the
+//! granularity the mode provides (as on the original systems).
+
+use crate::region::{os_page_size, Prot, Region};
+use dsm_mem::PageDiff;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::Read;
+use std::mem::{align_of, size_of};
+use std::os::fd::{FromRawFd, OwnedFd};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Barrier, OnceLock};
+
+/// Coherence mode of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmMode {
+    /// Write-invalidate single writer (sequential consistency).
+    Invalidate,
+    /// Twin/diff multiple writers merged at barriers.
+    TwinDiff,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VmConfig {
+    pub nnodes: usize,
+    /// Shared pages (each `page_size` bytes).
+    pub pages: usize,
+    /// Must be a multiple of the OS page size.
+    pub page_size: usize,
+    pub mode: VmMode,
+}
+
+impl VmConfig {
+    pub fn new(nnodes: usize, pages: usize, mode: VmMode) -> Self {
+        VmConfig { nnodes, pages, page_size: os_page_size(), mode }
+    }
+
+    pub fn total_bytes(&self) -> usize {
+        self.pages * self.page_size
+    }
+}
+
+const ACC_NONE: u8 = 0;
+const ACC_READ: u8 = 1;
+const ACC_WRITE: u8 = 2;
+
+const SLOT_IDLE: u32 = 0;
+const SLOT_REQUESTED: u32 = 1;
+const SLOT_DONE: u32 = 2;
+
+/// Handler → service fault mailbox (one per node; one app thread per
+/// node means at most one outstanding fault).
+struct FaultSlot {
+    page: AtomicUsize,
+    status: AtomicU32,
+}
+
+/// Per-page coherence metadata.
+struct PageMeta {
+    /// Invalidate mode: current owner.
+    owner: usize,
+    /// Invalidate mode: nodes holding copies (bitmask; ≤ 64 nodes).
+    copyset: u64,
+    /// TwinDiff mode: the merged authoritative copy.
+    master: Option<Box<[u8]>>,
+}
+
+/// Counters exposed after a run.
+#[derive(Debug, Default)]
+pub struct VmStats {
+    pub read_faults: AtomicU64,
+    pub write_faults: AtomicU64,
+    pub bytes_copied: AtomicU64,
+    pub diffs_created: AtomicU64,
+    pub diff_bytes: AtomicU64,
+    /// Wall-clock nanoseconds spent inside fault service.
+    pub service_ns: AtomicU64,
+}
+
+/// Snapshot of [`VmStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmStatsSnapshot {
+    pub read_faults: u64,
+    pub write_faults: u64,
+    pub bytes_copied: u64,
+    pub diffs_created: u64,
+    pub diff_bytes: u64,
+    pub service_ns: u64,
+}
+
+struct Shared {
+    cfg: VmConfig,
+    regions: Vec<Region>,
+    /// access[node * pages + page]
+    access: Vec<AtomicU8>,
+    meta: Vec<Mutex<PageMeta>>,
+    slots: Vec<FaultSlot>,
+    /// Write ends of the per-node service pipes (handler writes here).
+    pipe_w: Vec<libc::c_int>,
+    barrier: Barrier,
+    /// Per-node twins (TwinDiff mode), touched only by that node's
+    /// service thread and its app thread's flush.
+    twins: Vec<Mutex<HashMap<usize, Box<[u8]>>>>,
+    /// Application-level mutual-exclusion locks (invalidate mode: the
+    /// engine is sequentially consistent, so plain mutexes suffice).
+    app_locks: Vec<Mutex<()>>,
+    stats: VmStats,
+}
+
+impl Shared {
+    #[inline]
+    fn acc(&self, node: usize, page: usize) -> &AtomicU8 {
+        &self.access[node * self.cfg.pages + page]
+    }
+
+    fn node_of_addr(&self, addr: usize) -> Option<usize> {
+        self.regions.iter().position(|r| r.contains(addr))
+    }
+
+    /// Copy one page between views / buffers. Caller must hold the
+    /// page's meta lock and have arranged protections.
+    unsafe fn copy_page(&self, src: *const u8, dst: *mut u8) {
+        unsafe { ptr::copy_nonoverlapping(src, dst, self.cfg.page_size) };
+        self.stats
+            .bytes_copied
+            .fetch_add(self.cfg.page_size as u64, Ordering::Relaxed);
+    }
+
+    fn off(&self, page: usize) -> usize {
+        page * self.cfg.page_size
+    }
+
+    // ---------------- invalidate mode ----------------
+
+    fn service_read_invalidate(&self, node: usize, page: usize) {
+        let mut meta = self.meta[page].lock();
+        if self.acc(node, page).load(Ordering::Acquire) >= ACC_READ {
+            return; // raced with another service; already readable
+        }
+        let off = self.off(page);
+        let owner = meta.owner;
+        debug_assert_ne!(owner, node, "owner cannot read-fault");
+        // Downgrade a writing owner so the copy is stable.
+        if self.acc(owner, page).load(Ordering::Acquire) == ACC_WRITE {
+            self.regions[owner].protect(off, self.cfg.page_size, Prot::Read);
+            self.acc(owner, page).store(ACC_READ, Ordering::Release);
+        }
+        self.regions[node].protect(off, self.cfg.page_size, Prot::ReadWrite);
+        unsafe {
+            self.copy_page(self.regions[owner].at(off), self.regions[node].at(off));
+        }
+        self.regions[node].protect(off, self.cfg.page_size, Prot::Read);
+        self.acc(node, page).store(ACC_READ, Ordering::Release);
+        meta.copyset |= 1 << node;
+    }
+
+    fn service_write_invalidate(&self, node: usize, page: usize) {
+        let mut meta = self.meta[page].lock();
+        if self.acc(node, page).load(Ordering::Acquire) == ACC_WRITE {
+            return;
+        }
+        let off = self.off(page);
+        let owner = meta.owner;
+        self.regions[node].protect(off, self.cfg.page_size, Prot::ReadWrite);
+        if self.acc(node, page).load(Ordering::Acquire) == ACC_NONE && owner != node {
+            // Need the data before the owner's copy goes away.
+            unsafe {
+                self.copy_page(self.regions[owner].at(off), self.regions[node].at(off));
+            }
+        }
+        // Invalidate every other copy.
+        let mut cs = meta.copyset;
+        while cs != 0 {
+            let m = cs.trailing_zeros() as usize;
+            cs &= cs - 1;
+            if m != node {
+                self.regions[m].protect(off, self.cfg.page_size, Prot::None);
+                self.acc(m, page).store(ACC_NONE, Ordering::Release);
+            }
+        }
+        self.acc(node, page).store(ACC_WRITE, Ordering::Release);
+        meta.owner = node;
+        meta.copyset = 1 << node;
+    }
+
+    // ---------------- twin/diff mode ----------------
+
+    fn master_mut<'a>(
+        &self,
+        meta: &'a mut PageMeta,
+    ) -> &'a mut Box<[u8]> {
+        meta.master
+            .get_or_insert_with(|| vec![0u8; self.cfg.page_size].into_boxed_slice())
+    }
+
+    fn service_read_twin(&self, node: usize, page: usize) {
+        let mut meta = self.meta[page].lock();
+        if self.acc(node, page).load(Ordering::Acquire) >= ACC_READ {
+            return;
+        }
+        let off = self.off(page);
+        let ps = self.cfg.page_size;
+        let master = self.master_mut(&mut meta);
+        self.regions[node].protect(off, ps, Prot::ReadWrite);
+        unsafe {
+            self.copy_page(master.as_ptr(), self.regions[node].at(off));
+        }
+        self.regions[node].protect(off, ps, Prot::Read);
+        self.acc(node, page).store(ACC_READ, Ordering::Release);
+    }
+
+    fn service_write_twin(&self, node: usize, page: usize) {
+        let mut meta = self.meta[page].lock();
+        if self.acc(node, page).load(Ordering::Acquire) == ACC_WRITE {
+            return;
+        }
+        let off = self.off(page);
+        let ps = self.cfg.page_size;
+        self.regions[node].protect(off, ps, Prot::ReadWrite);
+        if self.acc(node, page).load(Ordering::Acquire) == ACC_NONE {
+            let master = self.master_mut(&mut meta);
+            unsafe {
+                self.copy_page(master.as_ptr(), self.regions[node].at(off));
+            }
+        }
+        // Snapshot the twin for the barrier diff.
+        let mut twin = vec![0u8; ps].into_boxed_slice();
+        unsafe {
+            ptr::copy_nonoverlapping(self.regions[node].at(off), twin.as_mut_ptr(), ps);
+        }
+        self.twins[node].lock().insert(page, twin);
+        self.acc(node, page).store(ACC_WRITE, Ordering::Release);
+    }
+
+    /// TwinDiff: fold this node's writes into the masters and drop all
+    /// local copies (called by the app thread at a barrier).
+    fn flush_twins(&self, node: usize) {
+        let ps = self.cfg.page_size;
+        let twins: Vec<(usize, Box<[u8]>)> =
+            self.twins[node].lock().drain().collect();
+        for (page, twin) in twins {
+            let off = self.off(page);
+            let cur = unsafe {
+                std::slice::from_raw_parts(self.regions[node].at(off), ps)
+            };
+            let diff = PageDiff::create(&twin, cur);
+            self.stats.diffs_created.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .diff_bytes
+                .fetch_add(diff.wire_bytes() as u64, Ordering::Relaxed);
+            if !diff.is_empty() {
+                let mut meta = self.meta[page].lock();
+                let master = self.master_mut(&mut meta);
+                diff.apply(master);
+            }
+        }
+        // Drop every local copy: the next access refetches the merged
+        // master.
+        for page in 0..self.cfg.pages {
+            if self.acc(node, page).load(Ordering::Acquire) != ACC_NONE {
+                self.regions[node].protect(self.off(page), ps, Prot::None);
+                self.acc(node, page).store(ACC_NONE, Ordering::Release);
+            }
+        }
+    }
+
+    fn service(&self, node: usize, page: usize) {
+        let start = std::time::Instant::now();
+        let state = self.acc(node, page).load(Ordering::Acquire);
+        // Portable fault disambiguation: no access → read service; a
+        // fault on a readable page must be a write. (A cold write costs
+        // two faults — the classic upgrade path.)
+        match (self.cfg.mode, state) {
+            (VmMode::Invalidate, ACC_NONE) => {
+                self.stats.read_faults.fetch_add(1, Ordering::Relaxed);
+                self.service_read_invalidate(node, page);
+            }
+            (VmMode::Invalidate, _) => {
+                self.stats.write_faults.fetch_add(1, Ordering::Relaxed);
+                self.service_write_invalidate(node, page);
+            }
+            (VmMode::TwinDiff, ACC_NONE) => {
+                self.stats.read_faults.fetch_add(1, Ordering::Relaxed);
+                self.service_read_twin(node, page);
+            }
+            (VmMode::TwinDiff, _) => {
+                self.stats.write_faults.fetch_add(1, Ordering::Relaxed);
+                self.service_write_twin(node, page);
+            }
+        }
+        self.stats
+            .service_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+// ---------------- the signal handler ----------------
+
+static SHARED_PTR: AtomicPtr<Shared> = AtomicPtr::new(ptr::null_mut());
+
+fn futex_wait(word: &AtomicU32, expected: u32) {
+    unsafe {
+        libc::syscall(
+            libc::SYS_futex,
+            word.as_ptr(),
+            libc::FUTEX_WAIT,
+            expected,
+            ptr::null::<libc::timespec>(),
+        );
+    }
+}
+
+fn futex_wake_all(word: &AtomicU32) {
+    unsafe {
+        libc::syscall(libc::SYS_futex, word.as_ptr(), libc::FUTEX_WAKE, i32::MAX);
+    }
+}
+
+extern "C" fn segv_handler(
+    _sig: libc::c_int,
+    info: *mut libc::siginfo_t,
+    _ctx: *mut libc::c_void,
+) {
+    // Async-signal-safe only: atomics, write(2), futex.
+    let shared = SHARED_PTR.load(Ordering::Acquire);
+    if !shared.is_null() {
+        let shared = unsafe { &*shared };
+        let addr = unsafe { (*info).si_addr() } as usize;
+        if let Some(node) = shared.node_of_addr(addr) {
+            let base = shared.regions[node].base() as usize;
+            let page = (addr - base) / shared.cfg.page_size;
+            let slot = &shared.slots[node];
+            slot.page.store(page, Ordering::Release);
+            slot.status.store(SLOT_REQUESTED, Ordering::Release);
+            let byte = 1u8;
+            unsafe {
+                libc::write(
+                    shared.pipe_w[node],
+                    &byte as *const u8 as *const libc::c_void,
+                    1,
+                );
+            }
+            while slot.status.load(Ordering::Acquire) != SLOT_DONE {
+                futex_wait(&slot.status, SLOT_REQUESTED);
+            }
+            slot.status.store(SLOT_IDLE, Ordering::Release);
+            return; // retry the faulting instruction
+        }
+    }
+    // Not a DSM fault: fall back to the default action (crash with a
+    // real segfault) by re-raising with the default handler.
+    unsafe {
+        libc::signal(libc::SIGSEGV, libc::SIG_DFL);
+    }
+}
+
+fn install_handler() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        unsafe {
+            let mut sa: libc::sigaction = std::mem::zeroed();
+            sa.sa_sigaction = segv_handler as extern "C" fn(libc::c_int, *mut libc::siginfo_t, *mut libc::c_void) as usize;
+            sa.sa_flags = libc::SA_SIGINFO;
+            libc::sigemptyset(&mut sa.sa_mask);
+            let rc = libc::sigaction(libc::SIGSEGV, &sa, ptr::null_mut());
+            assert_eq!(rc, 0, "sigaction failed");
+        }
+    });
+}
+
+/// Serializes engines: the handler has one global registration.
+static ENGINE_GUARD: Mutex<()> = Mutex::new(());
+
+// ---------------- public engine API ----------------
+
+/// One node's view handle, passed to the application closure.
+pub struct VmNode<'a> {
+    shared: &'a Shared,
+    node: usize,
+}
+
+impl VmNode<'_> {
+    pub fn id(&self) -> usize {
+        self.node
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.shared.cfg.nnodes
+    }
+
+    pub fn total_bytes(&self) -> usize {
+        self.shared.cfg.total_bytes()
+    }
+
+    #[inline]
+    fn addr_of(&self, off: usize, size: usize, align: usize) -> *mut u8 {
+        assert!(off + size <= self.shared.cfg.total_bytes(), "out of bounds");
+        let p = unsafe { self.shared.regions[self.node].at(off) };
+        assert_eq!(p as usize % align, 0, "unaligned access");
+        p
+    }
+
+    /// Volatile typed load from the shared space (may page-fault into
+    /// the coherence engine).
+    pub fn read<T: Copy>(&self, off: usize) -> T {
+        let p = self.addr_of(off, size_of::<T>(), align_of::<T>());
+        unsafe { ptr::read_volatile(p as *const T) }
+    }
+
+    /// Volatile typed store to the shared space (may page-fault into
+    /// the coherence engine).
+    pub fn write<T: Copy>(&self, off: usize, v: T) {
+        let p = self.addr_of(off, size_of::<T>(), align_of::<T>());
+        unsafe { ptr::write_volatile(p as *mut T, v) }
+    }
+
+    /// Bulk read.
+    pub fn read_bytes(&self, off: usize, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read::<u8>(off + i);
+        }
+    }
+
+    /// Bulk write.
+    pub fn write_bytes(&self, off: usize, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            self.write::<u8>(off + i, b);
+        }
+    }
+
+    /// Run `f` under application lock `id` (0..64). Only meaningful in
+    /// invalidate mode, where the engine is sequentially consistent;
+    /// twin/diff mode synchronizes at barriers only.
+    pub fn with_lock<T>(&self, id: usize, f: impl FnOnce() -> T) -> T {
+        assert_eq!(
+            self.shared.cfg.mode,
+            VmMode::Invalidate,
+            "vm locks require the sequentially consistent mode"
+        );
+        let _guard = self.shared.app_locks[id].lock();
+        f()
+    }
+
+    /// Global barrier. In twin/diff mode this is also the consistency
+    /// point: local writes are merged into the masters and local copies
+    /// dropped.
+    pub fn barrier(&self) {
+        if self.shared.cfg.mode == VmMode::TwinDiff {
+            self.shared.flush_twins(self.node);
+        }
+        self.shared.barrier.wait();
+    }
+}
+
+/// Result of a VM-engine run.
+#[derive(Debug)]
+pub struct VmRunResult<R> {
+    pub results: Vec<R>,
+    pub stats: VmStatsSnapshot,
+}
+
+/// Build the engine, run one closure per node (each on its own
+/// thread), and tear everything down.
+pub fn run_vm<F, R>(cfg: VmConfig, f: F) -> VmRunResult<R>
+where
+    F: Fn(&VmNode<'_>) -> R + Sync,
+    R: Send,
+{
+    assert!(cfg.nnodes >= 1 && cfg.nnodes <= 64, "1..=64 nodes");
+    assert!(cfg.pages >= 1);
+    assert_eq!(
+        cfg.page_size % os_page_size(),
+        0,
+        "page size must be a multiple of the OS page"
+    );
+
+    let guard = ENGINE_GUARD.lock();
+    install_handler();
+
+    let total = cfg.total_bytes();
+    let regions: Vec<Region> =
+        (0..cfg.nnodes).map(|_| Region::new(total).expect("mmap")).collect();
+
+    // Invalidate mode: page p starts owned by node p % n with a zeroed
+    // writable copy (kernel zero-fill on first touch).
+    let mut metas = Vec::with_capacity(cfg.pages);
+    for p in 0..cfg.pages {
+        let home = p % cfg.nnodes;
+        metas.push(Mutex::new(PageMeta {
+            owner: home,
+            copyset: 1 << home,
+            master: None,
+        }));
+    }
+    let access: Vec<AtomicU8> =
+        (0..cfg.nnodes * cfg.pages).map(|_| AtomicU8::new(ACC_NONE)).collect();
+    if cfg.mode == VmMode::Invalidate {
+        for p in 0..cfg.pages {
+            let home = p % cfg.nnodes;
+            regions[home].protect(p * cfg.page_size, cfg.page_size, Prot::ReadWrite);
+            access[home * cfg.pages + p].store(ACC_WRITE, Ordering::Release);
+        }
+    }
+
+    // Service pipes.
+    let mut pipe_r: Vec<OwnedFd> = Vec::with_capacity(cfg.nnodes);
+    let mut pipe_w: Vec<libc::c_int> = Vec::with_capacity(cfg.nnodes);
+    for _ in 0..cfg.nnodes {
+        let mut fds = [0 as libc::c_int; 2];
+        let rc = unsafe { libc::pipe(fds.as_mut_ptr()) };
+        assert_eq!(rc, 0, "pipe failed");
+        pipe_r.push(unsafe { OwnedFd::from_raw_fd(fds[0]) });
+        pipe_w.push(fds[1]);
+    }
+
+    let shared = Box::new(Shared {
+        cfg,
+        regions,
+        access,
+        meta: metas,
+        slots: (0..cfg.nnodes)
+            .map(|_| FaultSlot {
+                page: AtomicUsize::new(0),
+                status: AtomicU32::new(SLOT_IDLE),
+            })
+            .collect(),
+        pipe_w: pipe_w.clone(),
+        barrier: Barrier::new(cfg.nnodes),
+        twins: (0..cfg.nnodes).map(|_| Mutex::new(HashMap::new())).collect(),
+        app_locks: (0..64).map(|_| Mutex::new(())).collect(),
+        stats: VmStats::default(),
+    });
+    let shared_ref: &Shared = &shared;
+    SHARED_PTR.store(shared_ref as *const Shared as *mut Shared, Ordering::Release);
+
+    let results: Vec<R> = std::thread::scope(|s| {
+        // Service threads.
+        let mut services = Vec::with_capacity(cfg.nnodes);
+        for (n, rfd) in pipe_r.into_iter().enumerate() {
+            let shared = shared_ref;
+            services.push(s.spawn(move || {
+                let mut file = std::fs::File::from(rfd);
+                let mut byte = [0u8; 1];
+                loop {
+                    match file.read_exact(&mut byte) {
+                        Ok(()) => {}
+                        Err(_) => break,
+                    }
+                    if byte[0] == 0xFF {
+                        break;
+                    }
+                    let page = shared.slots[n].page.load(Ordering::Acquire);
+                    shared.service(n, page);
+                    shared.slots[n].status.store(SLOT_DONE, Ordering::Release);
+                    futex_wake_all(&shared.slots[n].status);
+                }
+            }));
+        }
+
+        // Application threads.
+        let mut apps = Vec::with_capacity(cfg.nnodes);
+        for n in 0..cfg.nnodes {
+            let shared = shared_ref;
+            let f = &f;
+            apps.push(s.spawn(move || {
+                let node = VmNode { shared, node: n };
+                f(&node)
+            }));
+        }
+        let results: Vec<R> =
+            apps.into_iter().map(|j| j.join().expect("app thread panicked")).collect();
+
+        // Stop services.
+        for &w in &pipe_w {
+            let byte = 0xFFu8;
+            unsafe {
+                libc::write(w, &byte as *const u8 as *const libc::c_void, 1);
+            }
+        }
+        for j in services {
+            j.join().expect("service thread panicked");
+        }
+        results
+    });
+
+    SHARED_PTR.store(ptr::null_mut(), Ordering::Release);
+    for &w in &pipe_w {
+        unsafe {
+            libc::close(w);
+        }
+    }
+    let stats = VmStatsSnapshot {
+        read_faults: shared.stats.read_faults.load(Ordering::Relaxed),
+        write_faults: shared.stats.write_faults.load(Ordering::Relaxed),
+        bytes_copied: shared.stats.bytes_copied.load(Ordering::Relaxed),
+        diffs_created: shared.stats.diffs_created.load(Ordering::Relaxed),
+        diff_bytes: shared.stats.diff_bytes.load(Ordering::Relaxed),
+        service_ns: shared.stats.service_ns.load(Ordering::Relaxed),
+    };
+    drop(shared);
+    drop(guard);
+    VmRunResult { results, stats }
+}

@@ -1,0 +1,28 @@
+//! # dsm-vm — the real page-fault DSM engine
+//!
+//! Where the simulated engine (`dsm-core`) models distribution in
+//! virtual time, this crate builds the *mechanism* page-based DSM is
+//! named for: transparent loads and stores against `mmap`-ed views,
+//! with `mprotect`-enforced access rights and a `SIGSEGV` handler that
+//! turns violations into coherence actions — the IVY/TreadMarks
+//! user-level virtual-memory trick, in-process.
+//!
+//! ```no_run
+//! use dsm_vm::{run_vm, VmConfig, VmMode};
+//!
+//! let cfg = VmConfig::new(2, 4, VmMode::Invalidate);
+//! let res = run_vm(cfg, |node| {
+//!     if node.id() == 0 {
+//!         node.write::<u64>(0, 41);
+//!     }
+//!     node.barrier();
+//!     node.read::<u64>(0) + 1
+//! });
+//! assert_eq!(res.results, vec![42, 42]);
+//! ```
+
+mod engine;
+mod region;
+
+pub use engine::{run_vm, VmConfig, VmMode, VmNode, VmRunResult, VmStatsSnapshot};
+pub use region::{os_page_size, Prot, Region};

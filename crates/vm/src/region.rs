@@ -1,0 +1,148 @@
+//! Memory-mapped per-node views of the shared space.
+
+use std::io;
+use std::ptr;
+
+/// Protection level of a page range (maps directly onto `mprotect`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Prot {
+    None,
+    Read,
+    ReadWrite,
+}
+
+impl Prot {
+    fn flags(self) -> libc::c_int {
+        match self {
+            Prot::None => libc::PROT_NONE,
+            Prot::Read => libc::PROT_READ,
+            Prot::ReadWrite => libc::PROT_READ | libc::PROT_WRITE,
+        }
+    }
+}
+
+/// One node's anonymous private mapping. Pages start `PROT_NONE` (and
+/// zero-filled by the kernel on first legitimate access).
+#[derive(Debug)]
+pub struct Region {
+    base: *mut u8,
+    len: usize,
+}
+
+// The raw pointer is only dereferenced through volatile accessors and
+// service-thread copies; the mapping itself is owned.
+unsafe impl Send for Region {}
+unsafe impl Sync for Region {}
+
+impl Region {
+    /// Map `len` bytes with no access.
+    pub fn new(len: usize) -> io::Result<Region> {
+        let base = unsafe {
+            libc::mmap(
+                ptr::null_mut(),
+                len,
+                libc::PROT_NONE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if base == libc::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Region { base: base as *mut u8, len })
+    }
+
+    pub fn base(&self) -> *mut u8 {
+        self.base
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Does `addr` fall inside this mapping?
+    pub fn contains(&self, addr: usize) -> bool {
+        let b = self.base as usize;
+        addr >= b && addr < b + self.len
+    }
+
+    /// Change protection of `[off, off+len)` (must be page-aligned).
+    pub fn protect(&self, off: usize, len: usize, prot: Prot) {
+        debug_assert!(off + len <= self.len);
+        let rc = unsafe {
+            libc::mprotect(self.base.add(off) as *mut libc::c_void, len, prot.flags())
+        };
+        assert_eq!(rc, 0, "mprotect failed: {}", io::Error::last_os_error());
+    }
+
+    /// Raw pointer to offset `off`.
+    ///
+    /// # Safety
+    /// The caller must respect the current protection and avoid
+    /// conflicting concurrent access.
+    pub unsafe fn at(&self, off: usize) -> *mut u8 {
+        debug_assert!(off < self.len);
+        unsafe { self.base.add(off) }
+    }
+}
+
+impl Drop for Region {
+    fn drop(&mut self) {
+        unsafe {
+            libc::munmap(self.base as *mut libc::c_void, self.len);
+        }
+    }
+}
+
+/// The operating system's page size.
+pub fn os_page_size() -> usize {
+    unsafe { libc::sysconf(libc::_SC_PAGESIZE) as usize }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_protect_access_roundtrip() {
+        let ps = os_page_size();
+        let r = Region::new(ps * 4).unwrap();
+        r.protect(ps, ps, Prot::ReadWrite);
+        unsafe {
+            let p = r.at(ps);
+            std::ptr::write_volatile(p, 0xAB);
+            assert_eq!(std::ptr::read_volatile(p), 0xAB);
+        }
+        r.protect(ps, ps, Prot::Read);
+        unsafe {
+            assert_eq!(std::ptr::read_volatile(r.at(ps)), 0xAB);
+        }
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let ps = os_page_size();
+        let r = Region::new(ps).unwrap();
+        let b = r.base() as usize;
+        assert!(r.contains(b));
+        assert!(r.contains(b + ps - 1));
+        assert!(!r.contains(b + ps));
+        assert!(!r.contains(b.wrapping_sub(1)));
+    }
+
+    #[test]
+    fn fresh_pages_are_zero() {
+        let ps = os_page_size();
+        let r = Region::new(ps).unwrap();
+        r.protect(0, ps, Prot::Read);
+        unsafe {
+            assert_eq!(std::ptr::read_volatile(r.at(0)), 0);
+            assert_eq!(std::ptr::read_volatile(r.at(ps - 1)), 0);
+        }
+    }
+}

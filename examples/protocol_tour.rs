@@ -1,0 +1,61 @@
+//! A tour of every coherence protocol in the suite: the same
+//! producer/consumer + lock workload runs under all eight, and the
+//! completion time and traffic show each protocol's character (eager
+//! vs lazy, invalidate vs update, single vs multiple writer).
+//!
+//! ```sh
+//! cargo run --release --example protocol_tour
+//! ```
+
+use dsm_core::{Dsm, DsmConfig, Dur, GlobalAddr, ProtocolKind};
+
+fn workload(dsm: &Dsm<'_>) -> u64 {
+    let me = dsm.id().0 as usize;
+    let n = dsm.nodes() as usize;
+
+    // Stencil-ish neighbor exchange.
+    for round in 0..4u64 {
+        dsm.write_u64(GlobalAddr(me * 8), round * 10 + me as u64);
+        dsm.barrier(0);
+        let left = dsm.read_u64(GlobalAddr(((me + n - 1) % n) * 8));
+        let right = dsm.read_u64(GlobalAddr(((me + 1) % n) * 8));
+        dsm.compute(Dur::micros(200));
+        dsm.barrier(1);
+        let _ = (left, right);
+    }
+
+    // Migratory lock-guarded record.
+    for _ in 0..4 {
+        dsm.with_lock(1, |d| {
+            let v = d.read_u64(GlobalAddr(1024));
+            d.write_u64(GlobalAddr(1024), v + 1);
+        });
+    }
+    dsm.barrier(2);
+    dsm.read_u64(GlobalAddr(1024))
+}
+
+fn main() {
+    println!(
+        "{:<14} {:>12} {:>10} {:>12} {:>10}",
+        "protocol", "time (ms)", "msgs", "bytes", "result"
+    );
+    for proto in ProtocolKind::ALL {
+        let cfg = DsmConfig::new(4, proto)
+            .heap_bytes(8 * 1024)
+            .page_size(512)
+            .bind(1, GlobalAddr(1024), 8); // entry consistency binding
+        let res = dsm_core::run_dsm(&cfg, workload);
+        let counter = res.results[0];
+        assert!(res.results.iter().all(|&v| v == 16));
+        println!(
+            "{:<14} {:>12.3} {:>10} {:>12} {:>10}",
+            proto.name(),
+            res.end_time.as_millis_f64(),
+            res.stats.total_msgs(),
+            res.stats.total_bytes(),
+            counter,
+        );
+    }
+    println!("\n(every protocol computed the same result — by different means)");
+}
