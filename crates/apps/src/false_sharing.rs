@@ -22,7 +22,11 @@ pub struct FalseSharingParams {
 
 impl FalseSharingParams {
     pub fn small() -> Self {
-        FalseSharingParams { iters: 20, stride: 8, think: Dur::micros(10) }
+        FalseSharingParams {
+            iters: 20,
+            stride: 8,
+            think: Dur::micros(10),
+        }
     }
 
     pub fn heap_bytes(&self, nodes: usize) -> usize {
@@ -54,7 +58,10 @@ mod tests {
 
     #[test]
     fn counters_disjoint_for_any_stride() {
-        let p = FalseSharingParams { stride: 8, ..FalseSharingParams::small() };
+        let p = FalseSharingParams {
+            stride: 8,
+            ..FalseSharingParams::small()
+        };
         assert_ne!(p.counter(0), p.counter(1));
         assert_eq!(p.counter(3), GlobalAddr(24));
     }

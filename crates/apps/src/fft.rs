@@ -47,7 +47,10 @@ impl FftParams {
 /// Deterministic input signal.
 fn input(n: usize, i: usize) -> (f64, f64) {
     let x = i as f64 / n as f64;
-    ((3.0 * PI * x).sin() + 0.5 * (11.0 * PI * x).cos(), 0.25 * (7.0 * PI * x).sin())
+    (
+        (3.0 * PI * x).sin() + 0.5 * (11.0 * PI * x).cos(),
+        0.25 * (7.0 * PI * x).sin(),
+    )
 }
 
 /// In-place iterative radix-2 FFT over interleaved (re, im) pairs.
@@ -75,8 +78,7 @@ fn fft_inplace(buf: &mut [f64]) {
                 let w = step * k as f64;
                 let (wr, wi) = (w.cos(), w.sin());
                 let (er, ei) = (buf[2 * (start + k)], buf[2 * (start + k) + 1]);
-                let (or_, oi) =
-                    (buf[2 * (start + k + half)], buf[2 * (start + k + half) + 1]);
+                let (or_, oi) = (buf[2 * (start + k + half)], buf[2 * (start + k + half) + 1]);
                 let (tr, ti) = (or_ * wr - oi * wi, or_ * wi + oi * wr);
                 buf[2 * (start + k)] = er + tr;
                 buf[2 * (start + k) + 1] = ei + ti;

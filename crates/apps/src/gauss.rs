@@ -25,7 +25,10 @@ pub struct GaussParams {
 
 impl GaussParams {
     pub fn small() -> Self {
-        GaussParams { n: 16, row_align: 8 }
+        GaussParams {
+            n: 16,
+            row_align: 8,
+        }
     }
 
     pub fn width(&self) -> usize {
@@ -160,13 +163,16 @@ mod tests {
 
     #[test]
     fn reference_solves_the_system() {
-        let p = GaussParams { n: 12, row_align: 8 };
+        let p = GaussParams {
+            n: 12,
+            row_align: 8,
+        };
         let x = reference(&p);
         // Residual check against the original system.
         for r in 0..p.n {
             let mut v = 0.0;
-            for c in 0..p.n {
-                v += init(p.n, r, c) * x[c];
+            for (c, xv) in x.iter().enumerate() {
+                v += init(p.n, r, c) * xv;
             }
             let b = init(p.n, r, p.n);
             assert!((v - b).abs() < 1e-8, "row {r}: {v} vs {b}");

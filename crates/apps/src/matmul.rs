@@ -70,7 +70,7 @@ pub fn run(dsm: &Dsm<'_>, p: &MatmulParams) -> f64 {
                 *cv += aval * bv;
             }
         }
-        compute_flops(dsm, (2 * n * n) as u64 / 1);
+        compute_flops(dsm, (2 * n * n) as u64);
         dsm.write_f64s(p.c_row(r), &crow);
     }
     dsm.barrier(0);

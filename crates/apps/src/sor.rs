@@ -25,7 +25,11 @@ pub struct SorParams {
 
 impl SorParams {
     pub fn small() -> Self {
-        SorParams { n: 32, iters: 4, omega: 1.25 }
+        SorParams {
+            n: 32,
+            iters: 4,
+            omega: 1.25,
+        }
     }
 
     /// Shared bytes needed.
@@ -142,7 +146,11 @@ mod tests {
 
     #[test]
     fn reference_converges_toward_boundary_values() {
-        let p = SorParams { n: 16, iters: 100, omega: 1.25 };
+        let p = SorParams {
+            n: 16,
+            iters: 100,
+            omega: 1.25,
+        };
         let g = reference(&p);
         // After many sweeps the interior is no longer zero.
         let g = &g;

@@ -41,7 +41,10 @@ impl SortParams {
 
     /// Deterministic pseudo-random key for index `i`.
     pub fn key(&self, i: usize) -> u64 {
-        let mut x = self.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut x = self
+            .seed
+            .wrapping_add(i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
         x ^= x >> 30;
         x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x ^= x >> 27;
@@ -106,7 +109,10 @@ pub fn run(dsm: &Dsm<'_>, p: &SortParams) -> (u64, u64) {
     if len > 0 {
         dsm.write_u64s(u64_at(out_base, start), &bucket);
     }
-    compute_flops(dsm, (len.max(1) as u64) * (64 - (len.max(1) as u64).leading_zeros() as u64));
+    compute_flops(
+        dsm,
+        (len.max(1) as u64) * (64 - (len.max(1) as u64).leading_zeros() as u64),
+    );
     dsm.barrier(0);
 
     let sum = bucket.iter().fold(0u64, |a, &b| a.wrapping_add(b));

@@ -78,7 +78,11 @@ pub fn run(dsm: &Dsm<'_>, p: &TaskQueueParams) -> WorkerResult {
         dsm.release(QUEUE_LOCK);
     }
 
-    let mut res = WorkerResult { executed: 0, id_sum: 0, id_xor: 0 };
+    let mut res = WorkerResult {
+        executed: 0,
+        id_sum: 0,
+        id_xor: 0,
+    };
     loop {
         dsm.acquire(QUEUE_LOCK);
         let head = dsm.read_u64(HEAD);
@@ -117,7 +121,10 @@ mod tests {
 
     #[test]
     fn digest_matches_closed_form() {
-        let p = TaskQueueParams { tasks: 10, ..TaskQueueParams::small() };
+        let p = TaskQueueParams {
+            tasks: 10,
+            ..TaskQueueParams::small()
+        };
         let (sum, _) = expected_digest(&p);
         assert_eq!(sum, 55);
     }

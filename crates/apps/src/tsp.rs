@@ -30,7 +30,12 @@ const ENTRY_WORDS: usize = 3;
 
 impl TspParams {
     pub fn small() -> Self {
-        TspParams { cities: 7, seed: 42, capacity: 4096, poll: Dur::micros(500) }
+        TspParams {
+            cities: 7,
+            seed: 42,
+            capacity: 4096,
+            poll: Dur::micros(500),
+        }
     }
 
     pub fn heap_bytes(&self) -> usize {
@@ -93,7 +98,12 @@ pub fn run(dsm: &Dsm<'_>, p: &TspParams) -> f64 {
     let me = dsm.id().0;
     if me == 0 {
         // Seed: tour starting at city 0.
-        let root = Node { cost: 0.0, visited: 1, path: 0, depth: 1 };
+        let root = Node {
+            cost: 0.0,
+            visited: 1,
+            path: 0,
+            depth: 1,
+        };
         dsm.write_u64(BEST, f64::INFINITY.to_bits());
         let w = pack(&root);
         dsm.write_u64s(u64_at(STACK, 0), &w);
@@ -185,7 +195,12 @@ pub fn run(dsm: &Dsm<'_>, p: &TspParams) -> f64 {
 /// Sequential reference: exact branch-and-bound best tour length.
 pub fn reference(p: &TspParams) -> f64 {
     let mut best = f64::INFINITY;
-    let mut stack = vec![Node { cost: 0.0, visited: 1, path: 0, depth: 1 }];
+    let mut stack = vec![Node {
+        cost: 0.0,
+        visited: 1,
+        path: 0,
+        depth: 1,
+    }];
     while let Some(node) = stack.pop() {
         if node.cost >= best {
             continue;
@@ -232,7 +247,10 @@ mod tests {
 
     #[test]
     fn reference_matches_brute_force_on_tiny_instance() {
-        let p = TspParams { cities: 6, ..TspParams::small() };
+        let p = TspParams {
+            cities: 6,
+            ..TspParams::small()
+        };
         // Brute force all permutations of 1..6.
         let mut cities: Vec<usize> = (1..6).collect();
         let mut best = f64::INFINITY;

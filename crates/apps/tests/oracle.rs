@@ -21,9 +21,7 @@ fn sor_matches_reference_everywhere() {
     let p = sor::SorParams::small();
     for proto in ProtocolKind::ALL {
         for n in NODE_COUNTS {
-            let res = dsm_core::run_dsm(&cfg(n, proto, p.heap_bytes()), |dsm| {
-                sor::run(dsm, &p)
-            });
+            let res = dsm_core::run_dsm(&cfg(n, proto, p.heap_bytes()), |dsm| sor::run(dsm, &p));
             for (i, &got) in res.results.iter().enumerate() {
                 let want = sor::reference_block_sum(&p, n as usize, i);
                 assert!(
@@ -40,9 +38,7 @@ fn jacobi_matches_reference_everywhere() {
     let p = jacobi::JacobiParams::small();
     for proto in ProtocolKind::ALL {
         for n in NODE_COUNTS {
-            let res = dsm_core::run_dsm(&cfg(n, proto, p.heap_bytes()), |dsm| {
-                jacobi::run(dsm, &p)
-            });
+            let res = dsm_core::run_dsm(&cfg(n, proto, p.heap_bytes()), |dsm| jacobi::run(dsm, &p));
             for (i, &got) in res.results.iter().enumerate() {
                 let want = jacobi::reference_block_sum(&p, n as usize, i);
                 assert!(
@@ -59,9 +55,7 @@ fn matmul_matches_reference_everywhere() {
     let p = matmul::MatmulParams::small();
     for proto in ProtocolKind::ALL {
         for n in NODE_COUNTS {
-            let res = dsm_core::run_dsm(&cfg(n, proto, p.heap_bytes()), |dsm| {
-                matmul::run(dsm, &p)
-            });
+            let res = dsm_core::run_dsm(&cfg(n, proto, p.heap_bytes()), |dsm| matmul::run(dsm, &p));
             for (i, &got) in res.results.iter().enumerate() {
                 let want = matmul::reference_block_sum(&p, n as usize, i);
                 assert!(
@@ -75,18 +69,16 @@ fn matmul_matches_reference_everywhere() {
 
 #[test]
 fn gauss_matches_reference_everywhere() {
-    let p = gauss::GaussParams { n: 16, row_align: 256 };
+    let p = gauss::GaussParams {
+        n: 16,
+        row_align: 256,
+    };
     let want = gauss::reference(&p);
     for proto in ProtocolKind::ALL {
         for n in NODE_COUNTS {
-            let res = dsm_core::run_dsm(&cfg(n, proto, p.heap_bytes()), |dsm| {
-                gauss::run(dsm, &p)
-            });
+            let res = dsm_core::run_dsm(&cfg(n, proto, p.heap_bytes()), |dsm| gauss::run(dsm, &p));
             for (i, got) in res.results.iter().enumerate() {
-                let close = got
-                    .iter()
-                    .zip(&want)
-                    .all(|(a, b)| (a - b).abs() < 1e-9);
+                let close = got.iter().zip(&want).all(|(a, b)| (a - b).abs() < 1e-9);
                 assert!(close, "gauss {proto} n={n} node {i}: {got:?} vs {want:?}");
             }
         }
@@ -98,9 +90,7 @@ fn fft_matches_reference_everywhere() {
     let p = fft::FftParams { rows: 8, cols: 16 };
     for proto in ProtocolKind::ALL {
         for n in [1u32, 2, 4] {
-            let res = dsm_core::run_dsm(&cfg(n, proto, p.heap_bytes()), |dsm| {
-                fft::run(dsm, &p)
-            });
+            let res = dsm_core::run_dsm(&cfg(n, proto, p.heap_bytes()), |dsm| fft::run(dsm, &p));
             for (i, &got) in res.results.iter().enumerate() {
                 let want = fft::reference_block_sum(&p, n as usize, i);
                 assert!(
@@ -157,7 +147,11 @@ fn sort_produces_sorted_permutation_everywhere() {
         for n in NODE_COUNTS {
             let res = dsm_core::run_dsm(&cfg(n, proto, p.heap_bytes(n as usize)), |dsm| {
                 let digest = sort::run(dsm, &p);
-                let out = if dsm.id().0 == 0 { sort::read_output(dsm, &p) } else { vec![] };
+                let out = if dsm.id().0 == 0 {
+                    sort::read_output(dsm, &p)
+                } else {
+                    vec![]
+                };
                 (digest, out)
             });
             let out = &res.results[0].1;

@@ -10,7 +10,11 @@ use std::hint::black_box;
 fn bench_apps(c: &mut Criterion) {
     let mut group = c.benchmark_group("sor_64x64_4n");
     group.sample_size(10);
-    let p = sor::SorParams { n: 64, iters: 2, omega: 1.25 };
+    let p = sor::SorParams {
+        n: 64,
+        iters: 2,
+        omega: 1.25,
+    };
     for proto in [
         ProtocolKind::IvyFixed,
         ProtocolKind::IvyDynamic,
@@ -18,15 +22,19 @@ fn bench_apps(c: &mut Criterion) {
         ProtocolKind::Erc,
         ProtocolKind::Lrc,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(proto.name()), &proto, |b, &proto| {
-            b.iter(|| {
-                let cfg = DsmConfig::new(4, proto)
-                    .heap_bytes(p.heap_bytes())
-                    .page_size(1024);
-                let res = dsm_core::run_dsm(&cfg, move |dsm| sor::run(dsm, &p));
-                black_box(res.end_time)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(proto.name()),
+            &proto,
+            |b, &proto| {
+                b.iter(|| {
+                    let cfg = DsmConfig::new(4, proto)
+                        .heap_bytes(p.heap_bytes())
+                        .page_size(1024);
+                    let res = dsm_core::run_dsm(&cfg, move |dsm| sor::run(dsm, &p));
+                    black_box(res.end_time)
+                })
+            },
+        );
     }
     group.finish();
 }

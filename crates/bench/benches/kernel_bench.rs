@@ -3,7 +3,9 @@
 //! wall-clock honest).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dsm_net::{AppHandle, CostModel, Ctx, Dur, NodeBehavior, NodeId, OpOutcome, Payload, Sim};
+use dsm_net::{
+    AppHandle, CostModel, Ctx, Dur, KindId, NodeBehavior, NodeId, OpOutcome, Payload, Sim,
+};
 use dsm_sync::{BarrierKind, LockKind, SyncNode, SyncOp};
 use std::hint::black_box;
 
@@ -17,6 +19,9 @@ impl Payload for M {
     }
     fn kind(&self) -> &'static str {
         "pp"
+    }
+    fn kind_id(&self) -> KindId {
+        KindId(42)
     }
 }
 struct PingNode;
@@ -43,7 +48,10 @@ fn bench_kernel(c: &mut Criterion) {
 
     group.bench_function("ping_pong_2000_msgs", |b| {
         b.iter(|| {
-            let sim = Sim::new(vec![PingNode, PingNode], CostModel::uniform(Dur::micros(5), 1));
+            let sim = Sim::new(
+                vec![PingNode, PingNode],
+                CostModel::uniform(Dur::micros(5), 1),
+            );
             let res = sim.run(vec![
                 |h: &AppHandle<u32, ()>| h.op(999),
                 |_h: &AppHandle<u32, ()>| (),

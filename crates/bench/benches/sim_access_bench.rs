@@ -1,0 +1,107 @@
+//! Real-time cost of simulated memory accesses — the number the
+//! zero-rendezvous hit fast path exists to shrink.
+//!
+//! Each benchmark runs a whole small simulation performing a known
+//! number of accesses, so ns/access = sample time / access count
+//! (setup is amortized to noise by the access counts). The `fast`
+//! variants use the lease fast path (the default); `slow` forces every
+//! access through a kernel rendezvous. Virtual-time results are
+//! identical either way — see tests/determinism.rs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsm_core::{DsmConfig, GlobalAddr, ProtocolKind};
+use std::hint::black_box;
+
+/// Hit accesses per simulation run (resident pages, no protocol work).
+const HITS: usize = 65_536;
+/// Faulting first-touch accesses per simulation run.
+const FAULTS: usize = 64;
+
+fn bench_hit_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_access");
+    group.sample_size(10);
+    for (label, fast) in [("fast", true), ("slow", false)] {
+        group.bench_function(format!("hit_read_u64_x{HITS}/{label}"), |b| {
+            b.iter(|| {
+                // Single node: every page is home-resident, so all
+                // reads after the first write are pure hits.
+                let cfg = DsmConfig::new(1, ProtocolKind::IvyFixed)
+                    .heap_bytes(1 << 16)
+                    .fast_path(fast);
+                let res = dsm_core::run_dsm(&cfg, |dsm| {
+                    dsm.write_u64(GlobalAddr(0), 7);
+                    let mut acc = 0u64;
+                    for i in 0..HITS {
+                        let addr = GlobalAddr((i % 4096) * 8);
+                        acc = acc.wrapping_add(dsm.read_u64(addr));
+                    }
+                    acc
+                });
+                black_box(res.results[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hit_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_access");
+    group.sample_size(10);
+    for (label, fast) in [("fast", true), ("slow", false)] {
+        group.bench_function(format!("hit_write_u64_x{HITS}/{label}"), |b| {
+            b.iter(|| {
+                let cfg = DsmConfig::new(1, ProtocolKind::IvyFixed)
+                    .heap_bytes(1 << 16)
+                    .fast_path(fast);
+                let res = dsm_core::run_dsm(&cfg, |dsm| {
+                    for i in 0..HITS {
+                        let addr = GlobalAddr((i % 4096) * 8);
+                        dsm.write_u64(addr, i as u64);
+                    }
+                    dsm.read_u64(GlobalAddr(0))
+                });
+                black_box(res.results[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fault_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_access");
+    group.sample_size(10);
+    for (label, fast) in [("fast", true), ("slow", false)] {
+        group.bench_function(format!("fault_read_x{FAULTS}/{label}"), |b| {
+            b.iter(|| {
+                // Two nodes, cyclic placement: node 0's first touch of
+                // every odd page is a genuine read fault serviced by
+                // node 1, so this measures the full rendezvous +
+                // protocol + message path per access.
+                let cfg = DsmConfig::new(2, ProtocolKind::IvyFixed)
+                    .heap_bytes(2 * FAULTS * 4096)
+                    .fast_path(fast);
+                let res = dsm_core::run_dsm(&cfg, |dsm| {
+                    let mut acc = 0u64;
+                    if dsm.id().0 == 0 {
+                        for i in 0..FAULTS {
+                            let addr = GlobalAddr((2 * i + 1) * 4096);
+                            acc = acc.wrapping_add(dsm.read_u64(addr));
+                        }
+                    }
+                    dsm.barrier(0);
+                    acc
+                });
+                black_box(res.results[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hit_reads,
+    bench_hit_writes,
+    bench_fault_reads
+);
+criterion_main!(benches);

@@ -9,9 +9,7 @@
 //! ```
 
 use dsm_apps::{fft, gauss, jacobi, matmul, sor, sort, taskqueue, tsp};
-use dsm_core::{
-    BarrierKind, Dsm, DsmConfig, Dur, EntryBinding, LockKind, Placement, ProtocolKind,
-};
+use dsm_core::{BarrierKind, Dsm, DsmConfig, Dur, EntryBinding, LockKind, Placement, ProtocolKind};
 
 struct Args {
     app: String,
@@ -22,6 +20,7 @@ struct Args {
     placement: Placement,
     lock: LockKind,
     barrier: BarrierKind,
+    fast_path: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
         placement: Placement::Block,
         lock: LockKind::Queue,
         barrier: BarrierKind::Central,
+        fast_path: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown barrier {other}")),
                 }
             }
+            "--no-fast-path" => args.fast_path = false,
             other => return Err(format!("unknown flag {other} (try --list)")),
         }
     }
@@ -97,7 +98,8 @@ fn main() {
             eprintln!("dsmrun: {e}");
             eprintln!(
                 "usage: dsmrun --app <name> --proto <name> [--nodes N] [--page B] \
-                 [--size S] [--placement P] [--lock K] [--barrier K] | --list"
+                 [--size S] [--placement P] [--lock K] [--barrier K] \
+                 [--no-fast-path] | --list"
             );
             std::process::exit(2);
         }
@@ -110,6 +112,7 @@ fn main() {
             .placement(a.placement)
             .lock_kind(a.lock)
             .barrier_kind(a.barrier)
+            .fast_path(a.fast_path)
             .max_events(2_000_000_000)
     };
 
@@ -120,29 +123,30 @@ fn main() {
                 iters: 3,
                 omega: 1.25,
             };
-            let res = dsm_core::run_dsm(&base(p.heap_bytes()), move |d: &Dsm<'_>| {
-                sor::run(d, &p)
-            });
+            let res = dsm_core::run_dsm(&base(p.heap_bytes()), move |d: &Dsm<'_>| sor::run(d, &p));
             let ok = res.results.iter().enumerate().all(|(i, &got)| {
                 (got - sor::reference_block_sum(&p, a.nodes as usize, i)).abs() < 1e-9
             });
             (res.end_time, res.stats, ok)
         }
         "jacobi" => {
-            let p = jacobi::JacobiParams { n: if a.size == 0 { 64 } else { a.size }, iters: 3 };
-            let res = dsm_core::run_dsm(&base(p.heap_bytes()), move |d: &Dsm<'_>| {
-                jacobi::run(d, &p)
-            });
+            let p = jacobi::JacobiParams {
+                n: if a.size == 0 { 64 } else { a.size },
+                iters: 3,
+            };
+            let res =
+                dsm_core::run_dsm(&base(p.heap_bytes()), move |d: &Dsm<'_>| jacobi::run(d, &p));
             let ok = res.results.iter().enumerate().all(|(i, &got)| {
                 (got - jacobi::reference_block_sum(&p, a.nodes as usize, i)).abs() < 1e-9
             });
             (res.end_time, res.stats, ok)
         }
         "matmul" => {
-            let p = matmul::MatmulParams { n: if a.size == 0 { 64 } else { a.size } };
-            let res = dsm_core::run_dsm(&base(p.heap_bytes()), move |d: &Dsm<'_>| {
-                matmul::run(d, &p)
-            });
+            let p = matmul::MatmulParams {
+                n: if a.size == 0 { 64 } else { a.size },
+            };
+            let res =
+                dsm_core::run_dsm(&base(p.heap_bytes()), move |d: &Dsm<'_>| matmul::run(d, &p));
             let ok = res.results.iter().enumerate().all(|(i, &got)| {
                 (got - matmul::reference_block_sum(&p, a.nodes as usize, i)).abs() < 1e-9
             });
@@ -154,36 +158,39 @@ fn main() {
                 row_align: a.page,
             };
             let want = gauss::reference(&p);
-            let res = dsm_core::run_dsm(&base(p.heap_bytes()), move |d: &Dsm<'_>| {
-                gauss::run(d, &p)
-            });
-            let ok = res.results.iter().all(|x| {
-                x.iter().zip(&want).all(|(g, w)| (g - w).abs() < 1e-9)
-            });
+            let res =
+                dsm_core::run_dsm(&base(p.heap_bytes()), move |d: &Dsm<'_>| gauss::run(d, &p));
+            let ok = res
+                .results
+                .iter()
+                .all(|x| x.iter().zip(&want).all(|(g, w)| (g - w).abs() < 1e-9));
             (res.end_time, res.stats, ok)
         }
         "fft" => {
             let s = if a.size == 0 { 64 } else { a.size };
             assert!(s.is_power_of_two(), "--size must be a power of two for fft");
             let p = fft::FftParams { rows: s, cols: s };
-            let res = dsm_core::run_dsm(&base(p.heap_bytes()), move |d: &Dsm<'_>| {
-                fft::run(d, &p)
-            });
+            let res = dsm_core::run_dsm(&base(p.heap_bytes()), move |d: &Dsm<'_>| fft::run(d, &p));
             let ok = res.results.iter().enumerate().all(|(i, &got)| {
                 (got - fft::reference_block_sum(&p, a.nodes as usize, i)).abs() < 1e-6
             });
             (res.end_time, res.stats, ok)
         }
         "sort" => {
-            let p = sort::SortParams { n: if a.size == 0 { 4096 } else { a.size }, seed: 7 };
+            let p = sort::SortParams {
+                n: if a.size == 0 { 4096 } else { a.size },
+                seed: 7,
+            };
             let want = sort::reference(&p);
-            let res = dsm_core::run_dsm(
-                &base(p.heap_bytes(a.nodes as usize)),
-                move |d: &Dsm<'_>| {
+            let res =
+                dsm_core::run_dsm(&base(p.heap_bytes(a.nodes as usize)), move |d: &Dsm<'_>| {
                     sort::run(d, &p);
-                    if d.id().0 == 0 { sort::read_output(d, &p) } else { Vec::new() }
-                },
-            );
+                    if d.id().0 == 0 {
+                        sort::read_output(d, &p)
+                    } else {
+                        Vec::new()
+                    }
+                });
             let ok = res.results[0] == want;
             (res.end_time, res.stats, ok)
         }

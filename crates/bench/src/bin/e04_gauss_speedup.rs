@@ -2,6 +2,10 @@
 //! runs the reduced-size variant.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { dsm_bench::Scale::Quick } else { dsm_bench::Scale::Full };
+    let scale = if quick {
+        dsm_bench::Scale::Quick
+    } else {
+        dsm_bench::Scale::Full
+    };
     dsm_bench::experiments::e04_gauss(scale);
 }

@@ -1,6 +1,10 @@
 //! Regenerate every experiment table. `--quick` for the fast variant.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { dsm_bench::Scale::Quick } else { dsm_bench::Scale::Full };
+    let scale = if quick {
+        dsm_bench::Scale::Quick
+    } else {
+        dsm_bench::Scale::Full
+    };
     dsm_bench::run_all(scale);
 }

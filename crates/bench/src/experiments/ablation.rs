@@ -16,10 +16,7 @@ pub fn e13_nic_ablation(scale: Scale) {
     let ns = scale.pick(vec![2u32, 8], vec![2, 8, 32, 128]);
     let rounds = scale.pick(3u64, 10);
     let lan = CostModel::lan_1992();
-    let uniform = CostModel::uniform(
-        lan.send_overhead + lan.wire_latency + lan.recv_overhead,
-        0,
-    );
+    let uniform = CostModel::uniform(lan.send_overhead + lan.wire_latency + lan.recv_overhead, 0);
     let models = [("with NIC occupancy", lan), ("uniform latency", uniform)];
     let mut series: Vec<Series> = models.iter().map(|(l, _)| Series::new(*l)).collect();
     for &n in &ns {
@@ -54,7 +51,10 @@ pub fn e13_nic_ablation(scale: Scale) {
 pub fn e14_lrc_lock_ablation(scale: Scale) {
     let n = scale.pick(4u32, 8);
     let rounds = scale.pick(8, 60);
-    let kinds = [("queue lock", LockKind::Queue), ("central lock", LockKind::Central)];
+    let kinds = [
+        ("queue lock", LockKind::Queue),
+        ("central lock", LockKind::Central),
+    ];
     let mut rows: Vec<Series> = kinds.iter().map(|(l, _)| Series::new(*l)).collect();
     let metrics = ["msgs", "sync kbytes", "time ms"];
     for (ki, &(_, kind)) in kinds.iter().enumerate() {

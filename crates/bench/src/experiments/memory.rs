@@ -37,9 +37,7 @@ pub fn e05_false_sharing(scale: Scale) {
                 .heap_bytes(heap)
                 .page_size(ps)
                 .max_events(100_000_000);
-            let res = dsm_core::run_dsm(&cfg, move |dsm: &Dsm<'_>| {
-                false_sharing::run(dsm, &p)
-            });
+            let res = dsm_core::run_dsm(&cfg, move |dsm: &Dsm<'_>| false_sharing::run(dsm, &p));
             assert!(res.results.iter().all(|&v| v == p.iters as u64));
             time[pi].push(res.end_time.as_millis_f64());
             msgs[pi].push(res.stats.total_msgs() as f64);
@@ -87,10 +85,7 @@ pub fn e06_erc_vs_lrc(scale: Scale) {
         }
         dsm.barrier(1);
     };
-    let mut rows: Vec<Series> = vec![
-        Series::new("erc"),
-        Series::new("lrc"),
-    ];
+    let mut rows: Vec<Series> = vec![Series::new("erc"), Series::new("lrc")];
     let metrics = ["msgs", "kbytes", "time ms"];
     for (pi, &proto) in protos.iter().enumerate() {
         let cfg = DsmConfig::new(n, proto)
@@ -144,7 +139,10 @@ pub fn e09_diffs(scale: Scale) {
         runs.push(d.run_count() as f64);
         ratio.push(d.wire_bytes() as f64 / page as f64);
     }
-    let xs: Vec<String> = fractions.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
+    let xs: Vec<String> = fractions
+        .iter()
+        .map(|f| format!("{:.0}%", f * 100.0))
+        .collect();
     print_table(
         "E9: diff encoding vs fraction of page dirtied (4096B page, scattered bytes)",
         "dirtied",

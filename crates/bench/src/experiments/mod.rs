@@ -10,7 +10,9 @@ mod sync_and_vm;
 
 pub use ablation::{e13_nic_ablation, e14_lrc_lock_ablation};
 pub use memory::{e05_false_sharing, e06_erc_vs_lrc, e09_diffs};
-pub use scaling::{e01_managers, e02_sor, e03_matmul, e04_gauss, e11_entry_vs_lrc, e12_tsp, e15_fft};
+pub use scaling::{
+    e01_managers, e02_sor, e03_matmul, e04_gauss, e11_entry_vs_lrc, e12_tsp, e15_fft,
+};
 pub use sync_and_vm::{e07_locks, e08_barriers, e10_vm_costs};
 
 /// Experiment sizing: `Quick` keeps every experiment under ~a second

@@ -16,10 +16,17 @@ fn node_counts(scale: Scale) -> Vec<u32> {
 
 /// Messages attributable to synchronization rather than coherence.
 fn sync_msgs(stats: &dsm_core::NetStats) -> u64 {
-    ["LockReq", "LockFwd", "LockGrant", "LockRel", "BarArrive", "BarRelease"]
-        .iter()
-        .map(|k| stats.kind(k).count)
-        .sum()
+    [
+        "LockReq",
+        "LockFwd",
+        "LockGrant",
+        "LockRel",
+        "BarArrive",
+        "BarRelease",
+    ]
+    .iter()
+    .map(|k| stats.kind(k).count)
+    .sum()
 }
 
 /// E1 — messages per page operation under the three IVY manager
@@ -29,14 +36,16 @@ fn sync_msgs(stats: &dsm_core::NetStats) -> u64 {
 pub fn e01_managers(scale: Scale) {
     let rounds = scale.pick(6, 20);
     let pages_per_node = 2usize;
-    let ns = node_counts(scale).into_iter().filter(|&n| n >= 2).collect::<Vec<_>>();
+    let ns = node_counts(scale)
+        .into_iter()
+        .filter(|&n| n >= 2)
+        .collect::<Vec<_>>();
     let schemes = [
         ProtocolKind::IvyCentral,
         ProtocolKind::IvyFixed,
         ProtocolKind::IvyDynamic,
     ];
-    let mut series: Vec<Series> =
-        schemes.iter().map(|p| Series::new(p.name())).collect();
+    let mut series: Vec<Series> = schemes.iter().map(|p| Series::new(p.name())).collect();
     for &n in &ns {
         let pages = pages_per_node * n as usize;
         for (si, &proto) in schemes.iter().enumerate() {
@@ -45,12 +54,14 @@ pub fn e01_managers(scale: Scale) {
                 .heap_bytes(pages * 1024)
                 .max_events(50_000_000);
             let res = dsm_core::run_dsm(&cfg, move |dsm: &Dsm<'_>| {
-                let mut rng =
-                    XorShift64::new(dsm.id().0 as u64 * 7919 + 1);
+                let mut rng = XorShift64::new(dsm.id().0 as u64 * 7919 + 1);
                 for r in 0..rounds {
                     // Write somewhere random, read somewhere random.
                     let wp = rng.below(pages as u64) as usize;
-                    dsm.write_u64(GlobalAddr(wp * 1024 + 8 * (dsm.id().0 as usize % 16)), r as u64);
+                    dsm.write_u64(
+                        GlobalAddr(wp * 1024 + 8 * (dsm.id().0 as usize % 16)),
+                        r as u64,
+                    );
                     let rp = rng.below(pages as u64) as usize;
                     dsm.read_u64(GlobalAddr(rp * 1024));
                     dsm.barrier(0);
@@ -138,7 +149,12 @@ fn speedup_sweep_model<F>(
         })
         .collect();
     print_table(&format!("{title} — speedup"), "nodes", &xs_of(&ns), &speed);
-    print_table(&format!("{title} — total messages"), "nodes", &xs_of(&ns), &msgs);
+    print_table(
+        &format!("{title} — total messages"),
+        "nodes",
+        &xs_of(&ns),
+        &msgs,
+    );
 }
 
 /// E2 — red-black SOR speedup per protocol (IVY-style stencil result:
@@ -175,7 +191,9 @@ pub fn e02_sor(scale: Scale) {
 /// E3 — matrix multiply speedup (embarrassingly parallel; read
 /// replication wins, single-copy migration collapses).
 pub fn e03_matmul(scale: Scale) {
-    let p = matmul::MatmulParams { n: scale.pick(32, 256) };
+    let p = matmul::MatmulParams {
+        n: scale.pick(32, 256),
+    };
     let protos = [
         ProtocolKind::IvyFixed,
         ProtocolKind::Lrc,
@@ -198,7 +216,10 @@ pub fn e03_matmul(scale: Scale) {
 /// E4 — Gaussian elimination speedup (pivot-row broadcast: update
 /// pushes once, invalidation re-fetches per node).
 pub fn e04_gauss(scale: Scale) {
-    let p = gauss::GaussParams { n: scale.pick(24, 400), row_align: 2048 };
+    let p = gauss::GaussParams {
+        n: scale.pick(24, 400),
+        row_align: 2048,
+    };
     let protos = [
         ProtocolKind::IvyFixed,
         ProtocolKind::Update,
@@ -272,8 +293,7 @@ pub fn e11_entry_vs_lrc(scale: Scale) {
             poll: Dur::micros(500),
         };
         let ns: Vec<u32> = node_counts(scale).into_iter().filter(|&n| n >= 2).collect();
-        let mut series: Vec<Series> =
-            protos.iter().map(|k| Series::new(k.name())).collect();
+        let mut series: Vec<Series> = protos.iter().map(|k| Series::new(k.name())).collect();
         for &n in &ns {
             for (pi, &proto) in protos.iter().enumerate() {
                 let (lock, addr, len) = p.binding();
@@ -306,7 +326,11 @@ pub fn e12_tsp(scale: Scale) {
         poll: Dur::micros(500),
     };
     let want = tsp::reference(&p);
-    let protos = [ProtocolKind::IvyFixed, ProtocolKind::Lrc, ProtocolKind::Entry];
+    let protos = [
+        ProtocolKind::IvyFixed,
+        ProtocolKind::Lrc,
+        ProtocolKind::Entry,
+    ];
     let ns: Vec<u32> = node_counts(scale).into_iter().filter(|&n| n <= 8).collect();
     let mut series: Vec<Series> = protos.iter().map(|k| Series::new(k.name())).collect();
     for &n in &ns {

@@ -20,8 +20,10 @@ pub fn e07_locks(scale: Scale) {
     let hold = Dur::micros(100);
     let kinds = [("central", LockKind::Central), ("queue", LockKind::Queue)];
     let mut time: Vec<Series> = kinds.iter().map(|(l, _)| Series::new(*l)).collect();
-    let mut msgs: Vec<Series> =
-        kinds.iter().map(|(l, _)| Series::new(format!("{l} msgs/cs"))).collect();
+    let mut msgs: Vec<Series> = kinds
+        .iter()
+        .map(|(l, _)| Series::new(format!("{l} msgs/cs")))
+        .collect();
     for &n in &ns {
         for (ki, &(_, kind)) in kinds.iter().enumerate() {
             let nodes = SyncNode::cluster(n, kind, BarrierKind::Central);

@@ -10,7 +10,10 @@ pub struct Series {
 
 impl Series {
     pub fn new(label: impl Into<String>) -> Self {
-        Series { label: label.into(), values: Vec::new() }
+        Series {
+            label: label.into(),
+            values: Vec::new(),
+        }
     }
 
     pub fn push(&mut self, v: f64) {

@@ -1,7 +1,15 @@
 //! The application-facing DSM handle: typed reads/writes on the global
 //! shared space, synchronization, and modeled local computation.
+//!
+//! Every access first tries the node's [`Lease`] — the zero-rendezvous
+//! hit fast path that reads and writes resident pages directly on the
+//! application thread, charging the modeled cost against the kernel's
+//! run-ahead budget. Faults, sync ops, and budget exhaustion fall back
+//! to the rendezvous op path, so timing and outputs are unchanged;
+//! only the real-time cost of a hit shrinks.
 
-use crate::node::{DsmOp, DsmReply};
+use crate::lease::Lease;
+use crate::node::{DsmOp, DsmReply, OpBuf, OpData};
 use dsm_mem::GlobalAddr;
 use dsm_net::{AppHandle, Dur, NodeId, SimTime};
 use dsm_sync::{BarrierId, LockId};
@@ -13,11 +21,19 @@ use dsm_sync::{BarrierId, LockId};
 /// with [`Dsm::compute`].
 pub struct Dsm<'a> {
     h: &'a AppHandle<DsmOp, DsmReply>,
+    lease: Option<Lease>,
 }
 
 impl<'a> Dsm<'a> {
+    /// A handle without a lease: every access takes the rendezvous
+    /// path. The runtime normally builds handles via
+    /// [`crate::run_dsm`], which attaches leases.
     pub fn new(h: &'a AppHandle<DsmOp, DsmReply>) -> Self {
-        Dsm { h }
+        Dsm { h, lease: None }
+    }
+
+    pub(crate) fn with_lease(h: &'a AppHandle<DsmOp, DsmReply>, lease: Option<Lease>) -> Self {
+        Dsm { h, lease }
     }
 
     /// This node's id.
@@ -42,23 +58,47 @@ impl<'a> Dsm<'a> {
 
     // ---------- raw byte access ----------
 
-    /// Read `len` bytes at `addr` (faults as needed).
+    /// Read `len` bytes at `addr` into a fresh vector (faults as
+    /// needed). Prefer [`Dsm::read_bytes_into`] in hot loops.
     pub fn read_bytes(&self, addr: GlobalAddr, len: usize) -> Vec<u8> {
-        match self.h.op(DsmOp::Read { addr, len }) {
-            DsmReply::Data(d) => d,
-            DsmReply::Unit => unreachable!("read returned unit"),
-        }
+        let mut buf = vec![0u8; len];
+        self.read_bytes_into(addr, &mut buf);
+        buf
     }
 
-    /// Write `data` at `addr` (faults as needed).
+    /// Read `buf.len()` bytes at `addr` into `buf` without allocating.
+    pub fn read_bytes_into(&self, addr: GlobalAddr, buf: &mut [u8]) {
+        if let Some(lease) = &self.lease {
+            if lease.try_read(self.h, addr, buf) {
+                return;
+            }
+        }
+        self.h.op(DsmOp::Read {
+            addr,
+            buf: OpBuf::new(buf),
+        });
+    }
+
+    /// Write `data` at `addr` (faults as needed). The payload is
+    /// borrowed for the duration of the op, never copied into it.
     pub fn write_bytes(&self, addr: GlobalAddr, data: &[u8]) {
-        self.h.op(DsmOp::Write { addr, data: data.to_vec() });
+        if let Some(lease) = &self.lease {
+            if lease.try_write(self.h, addr, data) {
+                return;
+            }
+        }
+        self.h.op(DsmOp::Write {
+            addr,
+            data: OpData::new(data),
+        });
     }
 
     // ---------- typed scalar access ----------
 
     pub fn read_u64(&self, addr: GlobalAddr) -> u64 {
-        u64::from_le_bytes(self.read_bytes(addr, 8).try_into().unwrap())
+        let mut b = [0u8; 8];
+        self.read_bytes_into(addr, &mut b);
+        u64::from_le_bytes(b)
     }
 
     pub fn write_u64(&self, addr: GlobalAddr, v: u64) {
@@ -82,41 +122,85 @@ impl<'a> Dsm<'a> {
     }
 
     // ---------- typed slice access ----------
+    //
+    // The shared space stores scalars little-endian. On little-endian
+    // hosts (every platform this simulator targets in practice) the
+    // `_into` variants copy straight between the typed slice and frame
+    // memory with no intermediate buffer; big-endian hosts get a
+    // byte-swap fixup pass.
 
-    /// Read `n` consecutive f64 values starting at `addr`.
-    pub fn read_f64s(&self, addr: GlobalAddr, n: usize) -> Vec<f64> {
-        let bytes = self.read_bytes(addr, n * 8);
-        bytes
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-            .collect()
-    }
-
-    /// Write consecutive f64 values starting at `addr`.
-    pub fn write_f64s(&self, addr: GlobalAddr, vals: &[f64]) {
-        let mut bytes = Vec::with_capacity(vals.len() * 8);
-        for v in vals {
-            bytes.extend_from_slice(&v.to_le_bytes());
+    /// Read `out.len()` consecutive u64 values at `addr` into `out`.
+    pub fn read_u64s_into(&self, addr: GlobalAddr, out: &mut [u64]) {
+        // SAFETY: u64 has no invalid bit patterns and the byte length
+        // matches exactly.
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut u8, out.len() * 8) };
+        self.read_bytes_into(addr, bytes);
+        if cfg!(target_endian = "big") {
+            for v in out.iter_mut() {
+                *v = u64::from_le(*v);
+            }
         }
-        self.write_bytes(addr, &bytes);
-    }
-
-    /// Read `n` consecutive u64 values starting at `addr`.
-    pub fn read_u64s(&self, addr: GlobalAddr, n: usize) -> Vec<u64> {
-        let bytes = self.read_bytes(addr, n * 8);
-        bytes
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-            .collect()
     }
 
     /// Write consecutive u64 values starting at `addr`.
     pub fn write_u64s(&self, addr: GlobalAddr, vals: &[u64]) {
-        let mut bytes = Vec::with_capacity(vals.len() * 8);
-        for v in vals {
-            bytes.extend_from_slice(&v.to_le_bytes());
+        if cfg!(target_endian = "big") {
+            let mut bytes = Vec::with_capacity(vals.len() * 8);
+            for v in vals {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            self.write_bytes(addr, &bytes);
+        } else {
+            // SAFETY: reading a u64 slice as bytes is always valid.
+            let bytes =
+                unsafe { std::slice::from_raw_parts(vals.as_ptr() as *const u8, vals.len() * 8) };
+            self.write_bytes(addr, bytes);
         }
-        self.write_bytes(addr, &bytes);
+    }
+
+    /// Read `n` consecutive u64 values starting at `addr`.
+    pub fn read_u64s(&self, addr: GlobalAddr, n: usize) -> Vec<u64> {
+        let mut out = vec![0u64; n];
+        self.read_u64s_into(addr, &mut out);
+        out
+    }
+
+    /// Read `out.len()` consecutive f64 values at `addr` into `out`.
+    pub fn read_f64s_into(&self, addr: GlobalAddr, out: &mut [f64]) {
+        // SAFETY: f64 has no invalid bit patterns and the byte length
+        // matches exactly.
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut u8, out.len() * 8) };
+        self.read_bytes_into(addr, bytes);
+        if cfg!(target_endian = "big") {
+            for v in out.iter_mut() {
+                *v = f64::from_bits(u64::from_le(v.to_bits()));
+            }
+        }
+    }
+
+    /// Write consecutive f64 values starting at `addr`.
+    pub fn write_f64s(&self, addr: GlobalAddr, vals: &[f64]) {
+        if cfg!(target_endian = "big") {
+            let mut bytes = Vec::with_capacity(vals.len() * 8);
+            for v in vals {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            self.write_bytes(addr, &bytes);
+        } else {
+            // SAFETY: reading an f64 slice as bytes is always valid.
+            let bytes =
+                unsafe { std::slice::from_raw_parts(vals.as_ptr() as *const u8, vals.len() * 8) };
+            self.write_bytes(addr, bytes);
+        }
+    }
+
+    /// Read `n` consecutive f64 values starting at `addr`.
+    pub fn read_f64s(&self, addr: GlobalAddr, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0f64; n];
+        self.read_f64s_into(addr, &mut out);
+        out
     }
 
     // ---------- synchronization ----------
@@ -148,7 +232,9 @@ impl<'a> Dsm<'a> {
     /// Poll `addr` until the stored u64 satisfies `pred`, spinning with
     /// `poll` of modeled delay between probes (the classic DSM flag
     /// spin: local once the copy is cached, refreshed by the coherence
-    /// protocol).
+    /// protocol). Under the fast path the spin consumes run-ahead
+    /// budget and yields to the kernel on exhaustion, so invalidations
+    /// still land.
     pub fn spin_u64_until(&self, addr: GlobalAddr, poll: Dur, pred: impl Fn(u64) -> bool) -> u64 {
         loop {
             let v = self.read_u64(addr);

@@ -1,0 +1,124 @@
+//! The hit fast path: a *lease* on the node's own frame memory.
+//!
+//! The kernel's `Go` grant carries a virtual-time budget (see
+//! `dsm_net::AppHandle`). While that budget lasts, the application
+//! thread may service page hits entirely locally — no kernel
+//! rendezvous, no per-access heap event — by reading and writing the
+//! node's frame table directly through this lease and charging the
+//! modeled access cost to the budget. Faults, sync operations, and
+//! budget exhaustion still yield to the kernel.
+//!
+//! # Safety
+//!
+//! The lease and the kernel-side [`crate::DsmNode`] share one
+//! [`FrameTable`] through an [`UnsafeCell`]. This is sound because the
+//! driver enforces strict rendezvous: at any real-time instant either
+//! the kernel thread or exactly one application thread runs, and the
+//! floor is handed over through channels (which are synchronization
+//! edges). The app side touches the table only between receiving a
+//! `Go` and sending the next yield; the kernel side only outside that
+//! window. Neither side holds references across a handoff. Protocol
+//! downgrades (invalidations, write-protect) therefore publish to the
+//! lease automatically — the rights table *is* the frame table the
+//! protocol mutates.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+use crate::node::{DsmOp, DsmReply};
+use dsm_mem::{FrameTable, GlobalAddr, SpaceLayout};
+use dsm_net::{AppHandle, CostModel};
+
+/// Shared ownership of one node's frame table (see module docs).
+pub(crate) struct FrameCell(UnsafeCell<FrameTable>);
+
+// SAFETY: accesses are serialized by the driver's rendezvous protocol;
+// see the module-level safety argument.
+unsafe impl Send for FrameCell {}
+unsafe impl Sync for FrameCell {}
+
+impl FrameCell {
+    pub(crate) fn new(table: FrameTable) -> Self {
+        FrameCell(UnsafeCell::new(table))
+    }
+
+    /// Raw access; the caller must hold the floor (module docs).
+    pub(crate) fn get(&self) -> *mut FrameTable {
+        self.0.get()
+    }
+}
+
+/// One node's hit fast path, held by the [`crate::Dsm`] handle on the
+/// application thread.
+pub struct Lease {
+    frames: Arc<FrameCell>,
+    layout: SpaceLayout,
+    model: CostModel,
+}
+
+impl Lease {
+    pub(crate) fn new(frames: Arc<FrameCell>, layout: SpaceLayout, model: CostModel) -> Self {
+        Lease {
+            frames,
+            layout,
+            model,
+        }
+    }
+
+    /// Ensure `cost` more virtual time fits in the run-ahead budget,
+    /// yielding accumulated time once to renew it if needed. False
+    /// means the access must take the rendezvous path.
+    fn budget_for(&self, h: &AppHandle<DsmOp, DsmReply>, cost: dsm_net::Dur) -> bool {
+        h.local_allows(cost) || (h.flush_local() && h.local_allows(cost))
+    }
+
+    /// Service a read hit locally. False if the page (or any page the
+    /// range touches) lacks read rights, or the budget is exhausted.
+    pub(crate) fn try_read(
+        &self,
+        h: &AppHandle<DsmOp, DsmReply>,
+        addr: GlobalAddr,
+        buf: &mut [u8],
+    ) -> bool {
+        assert!(
+            self.layout.in_bounds(addr, buf.len()),
+            "read [{addr}, +{}) out of bounds",
+            buf.len()
+        );
+        let cost = self.model.mem_copy(buf.len());
+        if !self.budget_for(h, cost) {
+            return false;
+        }
+        // SAFETY: we hold the floor (between Go and the next yield).
+        let ok = unsafe { (*self.frames.get()).try_read(addr, buf) };
+        if ok {
+            h.consume_local(cost);
+        }
+        ok
+    }
+
+    /// Service a write hit locally. False if write rights are missing
+    /// anywhere in the range or the budget is exhausted.
+    pub(crate) fn try_write(
+        &self,
+        h: &AppHandle<DsmOp, DsmReply>,
+        addr: GlobalAddr,
+        data: &[u8],
+    ) -> bool {
+        assert!(
+            self.layout.in_bounds(addr, data.len()),
+            "write [{addr}, +{}) out of bounds",
+            data.len()
+        );
+        let cost = self.model.mem_copy(data.len());
+        if !self.budget_for(h, cost) {
+            return false;
+        }
+        // SAFETY: we hold the floor (between Go and the next yield).
+        let ok = unsafe { (*self.frames.get()).try_write(addr, data) };
+        if ok {
+            h.consume_local(cost);
+        }
+        ok
+    }
+}

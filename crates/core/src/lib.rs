@@ -21,12 +21,14 @@
 //! ```
 
 mod api;
+mod lease;
 mod msg;
 mod node;
 
 pub use api::Dsm;
+pub use lease::Lease;
 pub use msg::CoreMsg;
-pub use node::{DsmNode, DsmOp, DsmReply};
+pub use node::{DsmNode, DsmOp, DsmReply, OpBuf, OpData};
 
 // Re-export the vocabulary types users need.
 pub use dsm_mem::{GlobalAddr, PageGeometry, PageId, Placement, SpaceLayout};
@@ -49,6 +51,11 @@ pub struct DsmConfig {
     pub bindings: Vec<EntryBinding>,
     /// Livelock guard for the event kernel.
     pub max_events: u64,
+    /// Service page hits on the application thread via a [`Lease`]
+    /// (no kernel rendezvous per hit). On by default; turn off to
+    /// force every access through the op path — timing and outputs
+    /// are identical either way, only wall-clock changes.
+    pub fast_path: bool,
 }
 
 impl DsmConfig {
@@ -66,6 +73,7 @@ impl DsmConfig {
             model: CostModel::lan_1992(),
             bindings: Vec::new(),
             max_events: 200_000_000,
+            fast_path: true,
         }
     }
 
@@ -109,6 +117,11 @@ impl DsmConfig {
         self
     }
 
+    pub fn fast_path(mut self, on: bool) -> Self {
+        self.fast_path = on;
+        self
+    }
+
     /// The space layout this configuration induces.
     pub fn layout(&self) -> SpaceLayout {
         SpaceLayout::new(
@@ -130,6 +143,18 @@ impl DsmConfig {
             })
             .collect()
     }
+
+    /// One lease per node (or `None`s, if the fast path is disabled).
+    fn leases(&self, nodes: &[DsmNode]) -> Vec<Option<Lease>> {
+        let layout = self.layout();
+        nodes
+            .iter()
+            .map(|n| {
+                self.fast_path
+                    .then(|| Lease::new(n.frames_handle(), layout, self.model.clone()))
+            })
+            .collect()
+    }
 }
 
 /// Run one SPMD `program` on every node of a DSM machine described by
@@ -141,11 +166,13 @@ where
     F: Fn(&Dsm<'_>) -> V + Send + Sync,
 {
     let nodes = cfg.build_nodes();
+    let leases = cfg.leases(&nodes);
     let program = &program;
-    let programs: Vec<_> = (0..cfg.nnodes)
-        .map(|_| {
+    let programs: Vec<_> = leases
+        .into_iter()
+        .map(|lease| {
             move |h: &dsm_net::AppHandle<DsmOp, DsmReply>| {
-                let dsm = Dsm::new(h);
+                let dsm = Dsm::with_lease(h, lease);
                 program(&dsm)
             }
         })
@@ -163,11 +190,14 @@ where
     F: FnOnce(&Dsm<'_>) -> V + Send,
 {
     let nodes = cfg.build_nodes();
+    let leases = cfg.leases(&nodes);
+    assert_eq!(programs.len(), nodes.len(), "one program per node required");
     let programs: Vec<_> = programs
         .into_iter()
-        .map(|p| {
+        .zip(leases)
+        .map(|(p, lease)| {
             move |h: &dsm_net::AppHandle<DsmOp, DsmReply>| {
-                let dsm = Dsm::new(h);
+                let dsm = Dsm::with_lease(h, lease);
                 p(&dsm)
             }
         })
@@ -287,8 +317,9 @@ mod tests {
     #[test]
     fn deterministic_end_to_end() {
         let run = || {
-            let cfg =
-                DsmConfig::new(3, ProtocolKind::Lrc).heap_bytes(1 << 14).page_size(256);
+            let cfg = DsmConfig::new(3, ProtocolKind::Lrc)
+                .heap_bytes(1 << 14)
+                .page_size(256);
             let res = run_dsm(&cfg, |dsm| {
                 let me = dsm.id().0 as usize;
                 for it in 0..3u64 {
@@ -300,7 +331,11 @@ mod tests {
                 }
                 dsm.read_u64(GlobalAddr(64))
             });
-            (res.end_time, res.stats.total_msgs(), res.stats.total_bytes())
+            (
+                res.end_time,
+                res.stats.total_msgs(),
+                res.stats.total_bytes(),
+            )
         };
         assert_eq!(run(), run());
     }

@@ -1,7 +1,7 @@
 //! The combined wire message: coherence traffic plus synchronization
 //! traffic, multiplexed over one simulated network.
 
-use dsm_net::Payload;
+use dsm_net::{KindId, Payload};
 use dsm_proto::{Piggy, ProtoMsg};
 use dsm_sync::SyncMsg;
 
@@ -24,6 +24,13 @@ impl Payload for CoreMsg {
         match self {
             CoreMsg::Proto(m) => m.kind(),
             CoreMsg::Sync(m) => m.kind(),
+        }
+    }
+
+    fn kind_id(&self) -> KindId {
+        match self {
+            CoreMsg::Proto(m) => m.kind_id(),
+            CoreMsg::Sync(m) => m.kind_id(),
         }
     }
 }

@@ -3,29 +3,111 @@
 //! simulator's [`NodeBehavior`] by routing faults, messages, and sync
 //! events between them.
 
+use std::sync::Arc;
+
+use crate::lease::FrameCell;
 use crate::msg::CoreMsg;
 use dsm_mem::{FrameTable, GlobalAddr, SpaceLayout};
 use dsm_net::{Ctx, Dur, NodeBehavior, NodeId, OpOutcome};
 use dsm_proto::{Piggy, ProtoEvent, ProtoIo, Protocol, WriteOutcome};
 use dsm_sync::{
-    BarrierEngine, BarrierEvent, BarrierId, LockEngine, LockEvent, LockId, ReleaseAction,
-    SyncIo, SyncMsg,
+    BarrierEngine, BarrierEvent, BarrierId, LockEngine, LockEvent, LockId, ReleaseAction, SyncIo,
+    SyncMsg,
 };
+
+/// Borrowed view of an application-thread read buffer carried inside a
+/// [`DsmOp`] — a raw pointer, so shipping the op to the kernel thread
+/// copies 16 bytes instead of allocating.
+///
+/// Soundness: [`dsm_net::AppHandle::op`] blocks the issuing program
+/// thread until the reply arrives, so the pointed-to buffer outlives
+/// the op and is never accessed concurrently. The kernel side touches
+/// it only through [`Self::slice_mut`] while the op is in flight.
+#[derive(Debug)]
+pub struct OpBuf {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the buffer is only touched by whichever thread holds the
+// floor (see `crate::lease` module docs); the handle itself is inert.
+unsafe impl Send for OpBuf {}
+
+impl OpBuf {
+    pub fn new(buf: &mut [u8]) -> Self {
+        OpBuf {
+            ptr: buf.as_mut_ptr(),
+            len: buf.len(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// # Safety
+    /// The buffer this handle was created from must still be live and
+    /// unaliased — guaranteed while the op it rides in is in flight.
+    unsafe fn slice_mut(&mut self, pos: usize, n: usize) -> &mut [u8] {
+        debug_assert!(pos + n <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(pos), n)
+    }
+}
+
+/// Borrowed view of an application-thread write payload carried inside
+/// a [`DsmOp`]; same soundness argument as [`OpBuf`], and it kills the
+/// old `data.to_vec()` copy per write.
+#[derive(Debug)]
+pub struct OpData {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: as for `OpBuf`.
+unsafe impl Send for OpData {}
+
+impl OpData {
+    pub fn new(data: &[u8]) -> Self {
+        OpData {
+            ptr: data.as_ptr(),
+            len: data.len(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// # Safety
+    /// As for [`OpBuf::slice_mut`].
+    unsafe fn slice(&self, pos: usize, n: usize) -> &[u8] {
+        debug_assert!(pos + n <= self.len);
+        std::slice::from_raw_parts(self.ptr.add(pos), n)
+    }
+}
 
 /// Operations the application can issue against the shared space.
 #[derive(Debug)]
 pub enum DsmOp {
-    Read { addr: GlobalAddr, len: usize },
-    Write { addr: GlobalAddr, data: Vec<u8> },
+    Read { addr: GlobalAddr, buf: OpBuf },
+    Write { addr: GlobalAddr, data: OpData },
     Acquire(LockId),
     Release(LockId),
     Barrier(BarrierId),
 }
 
-/// Replies to [`DsmOp`]s.
+/// Replies to [`DsmOp`]s. Reads land directly in the caller's buffer,
+/// so every op completes with `Unit`.
 #[derive(Debug)]
 pub enum DsmReply {
-    Data(Vec<u8>),
     Unit,
 }
 
@@ -40,9 +122,21 @@ pub enum DsmReply {
 #[derive(Debug)]
 enum Pending {
     None,
-    Read { addr: GlobalAddr, buf: Vec<u8>, pos: usize, faults: u32 },
-    Write { addr: GlobalAddr, data: Vec<u8>, pos: usize, faults: u32 },
-    AsyncWrite { faults: u32 },
+    Read {
+        addr: GlobalAddr,
+        buf: OpBuf,
+        pos: usize,
+        faults: u32,
+    },
+    Write {
+        addr: GlobalAddr,
+        data: OpData,
+        pos: usize,
+        faults: u32,
+    },
+    AsyncWrite {
+        faults: u32,
+    },
     Acquire(LockId),
     ReleaseFlush(LockId),
     BarrierFlush(BarrierId),
@@ -50,11 +144,17 @@ enum Pending {
 }
 
 /// One DSM node: protocol + sync engines + local memory.
+///
+/// The frame table sits behind a shared [`FrameCell`] so the node's
+/// application thread can hold a [`crate::lease::Lease`] on it and
+/// service page hits without a kernel rendezvous. Kernel-side code
+/// accesses it through [`FrameCell::table`], one fresh borrow per call
+/// site, never held across a floor handoff.
 pub struct DsmNode {
     me: NodeId,
     nnodes: u32,
     layout: SpaceLayout,
-    frames: FrameTable,
+    frames: Arc<FrameCell>,
     proto: Box<dyn Protocol>,
     locks: LockEngine<Piggy>,
     barriers: BarrierEngine<Piggy>,
@@ -110,7 +210,7 @@ impl DsmNode {
             me,
             nnodes,
             layout,
-            frames: FrameTable::new(layout.geometry),
+            frames: Arc::new(FrameCell::new(FrameTable::new(layout.geometry))),
             proto,
             locks: LockEngine::new(lock_kind, me, nnodes),
             barriers: BarrierEngine::new(barrier_kind, me, nnodes),
@@ -124,11 +224,26 @@ impl DsmNode {
         self.proto.name()
     }
 
+    /// Shared handle to this node's frame table, for building the
+    /// application thread's lease.
+    pub(crate) fn frames_handle(&self) -> Arc<FrameCell> {
+        Arc::clone(&self.frames)
+    }
+
+    /// Kernel-side access to the frame table. Each call site takes a
+    /// fresh borrow; see [`FrameCell`] for the aliasing argument.
+    #[allow(clippy::mut_from_ref)]
+    fn mem(frames: &FrameCell) -> &mut FrameTable {
+        // SAFETY: the kernel thread holds the floor whenever node code
+        // runs (rendezvous invariant, `crate::lease` module docs).
+        unsafe { &mut *frames.get() }
+    }
+
     fn retire_if_faulted(&mut self, ctx: &mut Ctx<'_, Self>) {
         if self.faulted {
             self.faulted = false;
             let mut io = Io { ctx };
-            self.proto.op_retired(&mut io, &mut self.frames);
+            self.proto.op_retired(&mut io, Self::mem(&self.frames));
         }
     }
 
@@ -153,11 +268,13 @@ impl DsmNode {
             ReleaseAction::GrantTo { to, reqinfo } => {
                 let piggy =
                     self.proto
-                        .grant_piggy(&mut io, &mut self.frames, lock, to, &reqinfo);
+                        .grant_piggy(&mut io, Self::mem(&self.frames), lock, to, &reqinfo);
                 self.locks.grant(&mut io, lock, to, piggy);
             }
             ReleaseAction::ToServer => {
-                let piggy = self.proto.release_piggy(&mut io, &mut self.frames, lock);
+                let piggy = self
+                    .proto
+                    .release_piggy(&mut io, Self::mem(&self.frames), lock);
                 self.locks.send_release(&mut io, lock, piggy);
             }
         }
@@ -169,7 +286,7 @@ impl DsmNode {
         let mut events = Vec::new();
         {
             let mut io = Io { ctx };
-            let piggy = self.proto.barrier_piggy(&mut io, &mut self.frames);
+            let piggy = self.proto.barrier_piggy(&mut io, Self::mem(&self.frames));
             self.barriers.arrive(&mut io, barrier, piggy, &mut events);
         }
         self.handle_barrier_events(ctx, events)
@@ -191,7 +308,7 @@ impl DsmNode {
                         let mut io = Io { ctx };
                         let releases = self.proto.merge_barrier(
                             &mut io,
-                            &mut self.frames,
+                            Self::mem(&self.frames),
                             contributions,
                             self.nnodes,
                         );
@@ -204,7 +321,7 @@ impl DsmNode {
                 BarrierEvent::Released { piggy, .. } => {
                     let mut io = Io { ctx };
                     self.proto
-                        .on_barrier_released(&mut io, &mut self.frames, piggy);
+                        .on_barrier_released(&mut io, Self::mem(&self.frames), piggy);
                     released = true;
                 }
             }
@@ -218,23 +335,23 @@ impl DsmNode {
                 LockEvent::Acquired { lock, piggy } => {
                     {
                         let mut io = Io { ctx };
-                        self.proto.on_acquired(&mut io, &mut self.frames, lock, piggy);
+                        self.proto
+                            .on_acquired(&mut io, Self::mem(&self.frames), lock, piggy);
                     }
                     match std::mem::replace(&mut self.pending, Pending::None) {
                         Pending::Acquire(l) if l == lock => {
                             ctx.complete_op(DsmReply::Unit);
                         }
-                        other => panic!(
-                            "{}: lock {lock} acquired while pending {other:?}",
-                            self.me
-                        ),
+                        other => {
+                            panic!("{}: lock {lock} acquired while pending {other:?}", self.me)
+                        }
                     }
                 }
                 LockEvent::GrantNeeded { lock, to, reqinfo } => {
                     let mut io = Io { ctx };
                     let piggy = self.proto.grant_piggy(
                         &mut io,
-                        &mut self.frames,
+                        Self::mem(&self.frames),
                         lock,
                         to,
                         &reqinfo,
@@ -260,20 +377,32 @@ impl DsmNode {
     fn retry_pending_access(&mut self, ctx: &mut Ctx<'_, Self>) {
         loop {
             match std::mem::replace(&mut self.pending, Pending::None) {
-                Pending::Read { addr, mut buf, mut pos, mut faults } => {
+                Pending::Read {
+                    addr,
+                    mut buf,
+                    mut pos,
+                    mut faults,
+                } => {
                     let len = buf.len();
                     if pos >= len {
-                        let cost = self.install_cost(ctx) * faults as u64
-                            + Self::access_cost(ctx, len);
-                        ctx.complete_op_after(DsmReply::Data(buf), cost);
+                        let cost =
+                            self.install_cost(ctx) * faults as u64 + Self::access_cost(ctx, len);
+                        ctx.complete_op_after(DsmReply::Unit, cost);
                         self.retire_if_faulted(ctx);
                         return;
                     }
                     let n = self.piece_len(addr, pos, len);
                     let a = addr.offset(pos);
-                    if self.frames.try_read(a, &mut buf[pos..pos + n]) {
+                    // SAFETY: op in flight → app buffer live, unaliased.
+                    let piece = unsafe { buf.slice_mut(pos, n) };
+                    if Self::mem(&self.frames).try_read(a, piece) {
                         pos += n;
-                        self.pending = Pending::Read { addr, buf, pos, faults };
+                        self.pending = Pending::Read {
+                            addr,
+                            buf,
+                            pos,
+                            faults,
+                        };
                         // Retire this page's transaction before touching
                         // the next page (no hold-and-wait).
                         self.retire_if_faulted(ctx);
@@ -284,27 +413,45 @@ impl DsmNode {
                     let page = self.layout.geometry.page_of(a);
                     let resolved = {
                         let mut io = Io { ctx };
-                        self.proto.read_fault(&mut io, &mut self.frames, page)
+                        self.proto
+                            .read_fault(&mut io, Self::mem(&self.frames), page)
                     };
-                    self.pending = Pending::Read { addr, buf, pos, faults };
+                    self.pending = Pending::Read {
+                        addr,
+                        buf,
+                        pos,
+                        faults,
+                    };
                     if !resolved {
                         return;
                     }
                 }
-                Pending::Write { addr, data, mut pos, mut faults } => {
+                Pending::Write {
+                    addr,
+                    data,
+                    mut pos,
+                    mut faults,
+                } => {
                     let len = data.len();
                     if pos >= len {
-                        let cost = self.install_cost(ctx) * faults as u64
-                            + Self::access_cost(ctx, len);
+                        let cost =
+                            self.install_cost(ctx) * faults as u64 + Self::access_cost(ctx, len);
                         ctx.complete_op_after(DsmReply::Unit, cost);
                         self.retire_if_faulted(ctx);
                         return;
                     }
                     let n = self.piece_len(addr, pos, len);
                     let a = addr.offset(pos);
-                    if self.frames.try_write(a, &data[pos..pos + n]) {
+                    // SAFETY: op in flight → app buffer live, unaliased.
+                    let piece = unsafe { data.slice(pos, n) };
+                    if Self::mem(&self.frames).try_write(a, piece) {
                         pos += n;
-                        self.pending = Pending::Write { addr, data, pos, faults };
+                        self.pending = Pending::Write {
+                            addr,
+                            data,
+                            pos,
+                            faults,
+                        };
                         self.retire_if_faulted(ctx);
                         continue;
                     }
@@ -314,15 +461,27 @@ impl DsmNode {
                     // update-style protocols take it over entirely.
                     let outcome = {
                         let mut io = Io { ctx };
+                        // SAFETY: as above.
+                        let rest = unsafe { data.slice(pos, len - pos) };
                         self.proto
-                            .write_op(&mut io, &mut self.frames, a, &data[pos..])
+                            .write_op(&mut io, Self::mem(&self.frames), a, rest)
                     };
                     match outcome {
                         WriteOutcome::Ready => {
-                            self.pending = Pending::Write { addr, data, pos, faults };
+                            self.pending = Pending::Write {
+                                addr,
+                                data,
+                                pos,
+                                faults,
+                            };
                         }
                         WriteOutcome::Faulted(_) => {
-                            self.pending = Pending::Write { addr, data, pos, faults };
+                            self.pending = Pending::Write {
+                                addr,
+                                data,
+                                pos,
+                                faults,
+                            };
                             return;
                         }
                         WriteOutcome::Done => {
@@ -392,7 +551,7 @@ impl NodeBehavior for DsmNode {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
         let mut io = Io { ctx };
-        self.proto.on_start(&mut io, &mut self.frames);
+        self.proto.on_start(&mut io, Self::mem(&self.frames));
     }
 
     fn describe(&self) -> String {
@@ -407,39 +566,46 @@ impl NodeBehavior for DsmNode {
             self.pending
         );
         match op {
-            DsmOp::Read { addr, len } => {
+            DsmOp::Read { addr, mut buf } => {
+                let len = buf.len();
                 assert!(
                     self.layout.in_bounds(addr, len),
                     "read [{addr}, +{len}) out of bounds"
                 );
-                let mut buf = vec![0u8; len];
-                if self.frames.try_read(addr, &mut buf) {
-                    return OpOutcome::DoneAfter(
-                        DsmReply::Data(buf),
-                        Self::access_cost(ctx, len),
-                    );
+                // SAFETY: op in flight → app buffer live, unaliased.
+                let whole = unsafe { buf.slice_mut(0, len) };
+                if Self::mem(&self.frames).try_read(addr, whole) {
+                    return OpOutcome::DoneAfter(DsmReply::Unit, Self::access_cost(ctx, len));
                 }
-                self.pending = Pending::Read { addr, buf, pos: 0, faults: 0 };
+                self.pending = Pending::Read {
+                    addr,
+                    buf,
+                    pos: 0,
+                    faults: 0,
+                };
                 self.retry_pending_access_entry(ctx)
             }
             DsmOp::Write { addr, data } => {
-                assert!(
-                    self.layout.in_bounds(addr, data.len()),
-                    "write [{addr}, +{}) out of bounds",
-                    data.len()
-                );
                 let len = data.len();
-                if self.frames.try_write(addr, &data) {
-                    return OpOutcome::DoneAfter(
-                        DsmReply::Unit,
-                        Self::access_cost(ctx, len),
-                    );
+                assert!(
+                    self.layout.in_bounds(addr, len),
+                    "write [{addr}, +{len}) out of bounds"
+                );
+                // SAFETY: op in flight → app buffer live, unaliased.
+                let whole = unsafe { data.slice(0, len) };
+                if Self::mem(&self.frames).try_write(addr, whole) {
+                    return OpOutcome::DoneAfter(DsmReply::Unit, Self::access_cost(ctx, len));
                 }
-                self.pending = Pending::Write { addr, data, pos: 0, faults: 0 };
+                self.pending = Pending::Write {
+                    addr,
+                    data,
+                    pos: 0,
+                    faults: 0,
+                };
                 self.retry_pending_access_entry(ctx)
             }
             DsmOp::Acquire(lock) => {
-                let reqinfo = self.proto.acquire_reqinfo(&mut self.frames, lock);
+                let reqinfo = self.proto.acquire_reqinfo(Self::mem(&self.frames), lock);
                 let immediate = {
                     let mut io = Io { ctx };
                     self.locks.acquire(&mut io, lock, reqinfo)
@@ -447,7 +613,8 @@ impl NodeBehavior for DsmNode {
                 match immediate {
                     Some(piggy) => {
                         let mut io = Io { ctx };
-                        self.proto.on_acquired(&mut io, &mut self.frames, lock, piggy);
+                        self.proto
+                            .on_acquired(&mut io, Self::mem(&self.frames), lock, piggy);
                         OpOutcome::Done(DsmReply::Unit)
                     }
                     None => {
@@ -459,7 +626,8 @@ impl NodeBehavior for DsmNode {
             DsmOp::Release(lock) => {
                 let flushed = {
                     let mut io = Io { ctx };
-                    self.proto.pre_release(&mut io, &mut self.frames, Some(lock))
+                    self.proto
+                        .pre_release(&mut io, Self::mem(&self.frames), Some(lock))
                 };
                 if flushed {
                     self.do_release(ctx, lock);
@@ -473,12 +641,15 @@ impl NodeBehavior for DsmNode {
                 if self.nnodes == 1 {
                     // Still a consistency point for the protocol.
                     let mut io = Io { ctx };
-                    let _ = self.proto.pre_release(&mut io, &mut self.frames, None);
+                    let _ = self
+                        .proto
+                        .pre_release(&mut io, Self::mem(&self.frames), None);
                     return OpOutcome::Done(DsmReply::Unit);
                 }
                 let flushed = {
                     let mut io = Io { ctx };
-                    self.proto.pre_release(&mut io, &mut self.frames, None)
+                    self.proto
+                        .pre_release(&mut io, Self::mem(&self.frames), None)
                 };
                 if flushed {
                     if self.do_barrier_arrive(ctx, id) {
@@ -502,7 +673,7 @@ impl NodeBehavior for DsmNode {
                 {
                     let mut io = Io { ctx };
                     self.proto
-                        .on_message(&mut io, &mut self.frames, from, m, &mut events);
+                        .on_message(&mut io, Self::mem(&self.frames), from, m, &mut events);
                 }
                 self.pump_proto_events(ctx, events);
             }
@@ -527,10 +698,9 @@ impl NodeBehavior for DsmNode {
                     if self.handle_barrier_events(ctx, events) {
                         match std::mem::replace(&mut self.pending, Pending::None) {
                             Pending::BarrierWait(_) => ctx.complete_op(DsmReply::Unit),
-                            other => panic!(
-                                "{}: barrier released while pending {other:?}",
-                                self.me
-                            ),
+                            other => {
+                                panic!("{}: barrier released while pending {other:?}", self.me)
+                            }
                         }
                     }
                 }
@@ -542,10 +712,7 @@ impl NodeBehavior for DsmNode {
 impl DsmNode {
     /// First dispatch of a faulting access from `on_op`: drive the same
     /// retry machine, then translate the result into an [`OpOutcome`].
-    fn retry_pending_access_entry(
-        &mut self,
-        ctx: &mut Ctx<'_, Self>,
-    ) -> OpOutcome<DsmReply> {
+    fn retry_pending_access_entry(&mut self, ctx: &mut Ctx<'_, Self>) -> OpOutcome<DsmReply> {
         // The retry machine completes via ctx.complete_op_* when it can;
         // from on_op we must instead return Blocked and let the kernel
         // deliver the queued resume. complete_op_after() requires a

@@ -9,7 +9,9 @@ use dsm_core::{CostModel, Dsm, DsmConfig, Dur, GlobalAddr, ProtocolKind};
 /// chain even though node 2 never touched lock A.
 #[test]
 fn lrc_transitive_causality_through_lock_chain() {
-    let cfg = DsmConfig::new(3, ProtocolKind::Lrc).heap_bytes(4096).page_size(256);
+    let cfg = DsmConfig::new(3, ProtocolKind::Lrc)
+        .heap_bytes(4096)
+        .page_size(256);
     let res = dsm_core::run_dsm(&cfg, |dsm: &Dsm<'_>| {
         let x = GlobalAddr(0);
         let y = GlobalAddr(512);
@@ -55,7 +57,9 @@ fn lrc_transitive_causality_through_lock_chain() {
 /// the reader's next read needs no second fetch.
 #[test]
 fn erc_release_refreshes_existing_copies_without_refetch() {
-    let cfg = DsmConfig::new(2, ProtocolKind::Erc).heap_bytes(1024).page_size(256);
+    let cfg = DsmConfig::new(2, ProtocolKind::Erc)
+        .heap_bytes(1024)
+        .page_size(256);
     let res = dsm_core::run_dsm(&cfg, |dsm: &Dsm<'_>| {
         let a = GlobalAddr(0);
         if dsm.id().0 == 1 {
@@ -100,7 +104,9 @@ fn erc_release_refreshes_existing_copies_without_refetch() {
 /// reader's copy goes stale and is repaired lazily on its next access.
 #[test]
 fn lrc_release_sends_nothing_reader_repairs_lazily() {
-    let cfg = DsmConfig::new(2, ProtocolKind::Lrc).heap_bytes(1024).page_size(256);
+    let cfg = DsmConfig::new(2, ProtocolKind::Lrc)
+        .heap_bytes(1024)
+        .page_size(256);
     let res = dsm_core::run_dsm(&cfg, |dsm: &Dsm<'_>| {
         let a = GlobalAddr(0);
         if dsm.id().0 == 1 {
@@ -202,7 +208,9 @@ fn entry_grants_carry_only_dirty_data() {
 /// locally refreshed copy (no fetch per read).
 #[test]
 fn update_protocol_refreshes_reader_copies() {
-    let cfg = DsmConfig::new(2, ProtocolKind::Update).heap_bytes(1024).page_size(256);
+    let cfg = DsmConfig::new(2, ProtocolKind::Update)
+        .heap_bytes(1024)
+        .page_size(256);
     let res = dsm_core::run_dsm(&cfg, |dsm: &Dsm<'_>| {
         let a = GlobalAddr(8);
         if dsm.id().0 == 1 {

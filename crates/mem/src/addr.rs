@@ -45,7 +45,9 @@ impl PageGeometry {
             page_size.is_power_of_two() && page_size >= 8,
             "page size must be a power of two >= 8, got {page_size}"
         );
-        PageGeometry { shift: page_size.trailing_zeros() }
+        PageGeometry {
+            shift: page_size.trailing_zeros(),
+        }
     }
 
     /// Bytes per page.
@@ -74,13 +76,13 @@ impl PageGeometry {
 
     /// All pages overlapping the byte range `[addr, addr + len)`.
     /// Empty ranges touch no pages.
-    pub fn pages_for_range(
-        self,
-        addr: GlobalAddr,
-        len: usize,
-    ) -> impl Iterator<Item = PageId> {
+    pub fn pages_for_range(self, addr: GlobalAddr, len: usize) -> impl Iterator<Item = PageId> {
         let first = if len == 0 { 1 } else { addr.0 >> self.shift };
-        let last = if len == 0 { 0 } else { (addr.0 + len - 1) >> self.shift };
+        let last = if len == 0 {
+            0
+        } else {
+            (addr.0 + len - 1) >> self.shift
+        };
         (first..=last).map(PageId)
     }
 

@@ -54,7 +54,10 @@ impl PageDiff {
                     continue;
                 }
             }
-            runs.push(Run { offset: start as u32, bytes: current[start..i].to_vec() });
+            runs.push(Run {
+                offset: start as u32,
+                bytes: current[start..i].to_vec(),
+            });
         }
         PageDiff { runs }
     }

@@ -45,7 +45,10 @@ pub struct FrameTable {
 
 impl FrameTable {
     pub fn new(geometry: PageGeometry) -> Self {
-        FrameTable { geometry, frames: HashMap::new() }
+        FrameTable {
+            geometry,
+            frames: HashMap::new(),
+        }
     }
 
     pub fn geometry(&self) -> PageGeometry {
@@ -136,12 +139,7 @@ impl FrameTable {
     /// First page in `[addr, addr+len)` whose right is below `need`,
     /// i.e. the page to fault on next. `None` when the whole range is
     /// accessible.
-    pub fn first_insufficient(
-        &self,
-        addr: GlobalAddr,
-        len: usize,
-        need: Access,
-    ) -> Option<PageId> {
+    pub fn first_insufficient(&self, addr: GlobalAddr, len: usize, need: Access) -> Option<PageId> {
         self.geometry
             .pages_for_range(addr, len)
             .find(|p| self.access(*p) < need)
@@ -218,7 +216,10 @@ mod tests {
             Some(PageId(1))
         );
         t.install_zeroed(PageId(1), Access::Read);
-        assert_eq!(t.first_insufficient(GlobalAddr(200), 100, Access::Read), None);
+        assert_eq!(
+            t.first_insufficient(GlobalAddr(200), 100, Access::Read),
+            None
+        );
         assert_eq!(
             t.first_insufficient(GlobalAddr(200), 100, Access::Write),
             Some(PageId(1))

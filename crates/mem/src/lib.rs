@@ -26,8 +26,8 @@ mod vclock;
 pub use addr::{GlobalAddr, PageGeometry, PageId};
 pub use diff::PageDiff;
 pub use dir::{home_node, DirEntry, Directory, PendingReq};
-pub use layout::{Placement, SpaceLayout};
 pub use frame::{Access, Frame, FrameTable};
 pub use interval::{IntervalId, IntervalRecord};
+pub use layout::{Placement, SpaceLayout};
 pub use nodeset::NodeSet;
 pub use vclock::VClock;

@@ -1,157 +1,176 @@
-//! Property-based tests for the memory substrate invariants that the
+//! Randomized tests for the memory substrate invariants that the
 //! coherence protocols rely on.
+//!
+//! Driven by the workspace's own deterministic [`XorShift64`] with
+//! fixed seeds (the external property-testing crates are unavailable
+//! in the offline build), so every run exercises the same cases —
+//! failures reproduce immediately.
 
 use dsm_mem::{Access, FrameTable, GlobalAddr, NodeSet, PageDiff, PageGeometry, PageId, VClock};
-use dsm_net::NodeId;
-use proptest::prelude::*;
+use dsm_net::{NodeId, XorShift64};
 
 const PAGE: usize = 256;
+const CASES: u64 = 64;
 
-fn page_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
-    // A twin and a mutated copy with a controlled number of edits, so we
-    // exercise both sparse and dense diffs.
-    (
-        proptest::collection::vec(any::<u8>(), PAGE),
-        proptest::collection::vec((0..PAGE, any::<u8>()), 0..40),
-    )
-        .prop_map(|(twin, edits)| {
-            let mut cur = twin.clone();
-            for (i, v) in edits {
-                cur[i] = v;
-            }
-            (twin, cur)
-        })
+/// A twin and a mutated copy with a controlled number of edits, so we
+/// exercise both sparse and dense diffs.
+fn page_pair(rng: &mut XorShift64) -> (Vec<u8>, Vec<u8>) {
+    let twin: Vec<u8> = (0..PAGE).map(|_| rng.below(256) as u8).collect();
+    let mut cur = twin.clone();
+    for _ in 0..rng.below(40) {
+        let i = rng.below(PAGE as u64) as usize;
+        cur[i] = rng.below(256) as u8;
+    }
+    (twin, cur)
 }
 
-proptest! {
-    /// apply(create(twin, cur), twin) == cur — the fundamental diff law.
-    #[test]
-    fn diff_roundtrip((twin, cur) in page_pair()) {
+/// apply(create(twin, cur), twin) == cur — the fundamental diff law.
+#[test]
+fn diff_roundtrip() {
+    let mut rng = XorShift64::new(1);
+    for _ in 0..CASES {
+        let (twin, cur) = page_pair(&mut rng);
         let d = PageDiff::create(&twin, &cur);
         let mut page = twin.clone();
         d.apply(&mut page);
-        prop_assert_eq!(page, cur);
+        assert_eq!(page, cur);
     }
+}
 
-    /// A diff never carries more payload than the page and is empty iff
-    /// the pages are equal.
-    #[test]
-    fn diff_size_bounds((twin, cur) in page_pair()) {
+/// A diff never carries more payload than the page and is empty iff
+/// the pages are equal.
+#[test]
+fn diff_size_bounds() {
+    let mut rng = XorShift64::new(2);
+    for _ in 0..CASES {
+        let (twin, cur) = page_pair(&mut rng);
         let d = PageDiff::create(&twin, &cur);
-        prop_assert_eq!(d.is_empty(), twin == cur);
-        prop_assert!(d.changed_bytes() <= PAGE);
+        assert_eq!(d.is_empty(), twin == cur);
+        assert!(d.changed_bytes() <= PAGE);
         // Wire size is bounded by data plus one header per run.
-        prop_assert!(d.wire_bytes() <= d.changed_bytes() + 4 * d.run_count());
+        assert!(d.wire_bytes() <= d.changed_bytes() + 4 * d.run_count());
     }
+}
 
-    /// Diffs from writers touching disjoint halves of a page commute —
-    /// the property multiple-writer protocols depend on.
-    #[test]
-    fn disjoint_diffs_commute(
-        lo in proptest::collection::vec((0..PAGE / 2, any::<u8>()), 1..20),
-        hi in proptest::collection::vec((PAGE / 2..PAGE, any::<u8>()), 1..20),
-    ) {
+/// Diffs from writers touching disjoint halves of a page commute —
+/// the property multiple-writer protocols depend on.
+#[test]
+fn disjoint_diffs_commute() {
+    let mut rng = XorShift64::new(3);
+    for _ in 0..CASES {
         let twin = vec![0u8; PAGE];
         let mut a = twin.clone();
-        for &(i, v) in &lo { a[i] = v; }
+        for _ in 0..1 + rng.below(19) {
+            a[rng.below(PAGE as u64 / 2) as usize] = rng.below(256) as u8;
+        }
         let mut b = twin.clone();
-        for &(i, v) in &hi { b[i] = v; }
+        for _ in 0..1 + rng.below(19) {
+            b[(PAGE / 2) + rng.below(PAGE as u64 / 2) as usize] = rng.below(256) as u8;
+        }
         let da = PageDiff::create(&twin, &a);
         let db = PageDiff::create(&twin, &b);
-        prop_assert!(!da.overlaps(&db));
+        assert!(!da.overlaps(&db));
         let mut ab = twin.clone();
         da.apply(&mut ab);
         db.apply(&mut ab);
         let mut ba = twin;
         db.apply(&mut ba);
         da.apply(&mut ba);
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba);
     }
 }
 
-fn vclock(n: usize) -> impl Strategy<Value = VClock> {
-    proptest::collection::vec(0u32..8, n).prop_map(|v| {
-        let mut c = VClock::new(v.len());
-        for (i, x) in v.iter().enumerate() {
-            c.set(i, *x);
-        }
-        c
-    })
+fn vclock(rng: &mut XorShift64, n: usize) -> VClock {
+    let mut c = VClock::new(n);
+    for i in 0..n {
+        c.set(i, rng.below(8) as u32);
+    }
+    c
 }
 
-proptest! {
-    /// join is the least upper bound: it dominates both inputs, and any
-    /// clock dominating both inputs dominates the join.
-    #[test]
-    fn vclock_join_is_lub(a in vclock(4), b in vclock(4), c in vclock(4)) {
+/// join is the least upper bound: it dominates both inputs, and any
+/// clock dominating both inputs dominates the join.
+#[test]
+fn vclock_join_is_lub() {
+    let mut rng = XorShift64::new(4);
+    for _ in 0..CASES {
+        let a = vclock(&mut rng, 4);
+        let b = vclock(&mut rng, 4);
+        let c = vclock(&mut rng, 4);
         let mut j = a.clone();
         j.join(&b);
-        prop_assert!(j.dominates(&a));
-        prop_assert!(j.dominates(&b));
+        assert!(j.dominates(&a));
+        assert!(j.dominates(&b));
         if c.dominates(&a) && c.dominates(&b) {
-            prop_assert!(c.dominates(&j));
+            assert!(c.dominates(&j));
         }
     }
+}
 
-    /// Domination is a partial order: reflexive, antisymmetric,
-    /// transitive.
-    #[test]
-    fn vclock_partial_order(a in vclock(4), b in vclock(4), c in vclock(4)) {
-        prop_assert!(a.dominates(&a));
+/// Domination is a partial order: reflexive, antisymmetric, transitive.
+#[test]
+fn vclock_partial_order() {
+    let mut rng = XorShift64::new(5);
+    for _ in 0..CASES {
+        let a = vclock(&mut rng, 4);
+        let b = vclock(&mut rng, 4);
+        let c = vclock(&mut rng, 4);
+        assert!(a.dominates(&a));
         if a.dominates(&b) && b.dominates(&a) {
-            prop_assert_eq!(&a, &b);
+            assert_eq!(&a, &b);
         }
         if a.dominates(&b) && b.dominates(&c) {
-            prop_assert!(a.dominates(&c));
+            assert!(a.dominates(&c));
         }
         // concurrent is symmetric.
-        prop_assert_eq!(a.concurrent(&b), b.concurrent(&a));
+        assert_eq!(a.concurrent(&b), b.concurrent(&a));
     }
 }
 
-proptest! {
-    /// NodeSet behaves like a set of u32s.
-    #[test]
-    fn nodeset_matches_reference(ops in proptest::collection::vec((any::<bool>(), 0u32..200), 0..100)) {
+/// NodeSet behaves like a set of u32s.
+#[test]
+fn nodeset_matches_reference() {
+    let mut rng = XorShift64::new(6);
+    for _ in 0..CASES {
         let mut s = NodeSet::new();
         let mut reference = std::collections::BTreeSet::new();
-        for (add, id) in ops {
+        for _ in 0..rng.below(100) {
+            let add = rng.below(2) == 0;
+            let id = rng.below(200) as u32;
             if add {
-                prop_assert_eq!(s.insert(NodeId(id)), reference.insert(id));
+                assert_eq!(s.insert(NodeId(id)), reference.insert(id));
             } else {
-                prop_assert_eq!(s.remove(NodeId(id)), reference.remove(&id));
+                assert_eq!(s.remove(NodeId(id)), reference.remove(&id));
             }
         }
-        prop_assert_eq!(s.len(), reference.len());
+        assert_eq!(s.len(), reference.len());
         let got: Vec<u32> = s.iter().map(|n| n.0).collect();
         let want: Vec<u32> = reference.into_iter().collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
 }
 
-proptest! {
-    /// Writes through the frame table always read back, across page
-    /// boundaries, when rights permit.
-    #[test]
-    fn frame_table_write_read_roundtrip(
-        writes in proptest::collection::vec(
-            (0usize..PAGE * 4 - 16, proptest::collection::vec(any::<u8>(), 1..16)),
-            1..30,
-        )
-    ) {
+/// Writes through the frame table always read back, across page
+/// boundaries, when rights permit.
+#[test]
+fn frame_table_write_read_roundtrip() {
+    let mut rng = XorShift64::new(7);
+    for _ in 0..CASES {
         let g = PageGeometry::new(PAGE);
         let mut t = FrameTable::new(g);
         for p in 0..4 {
             t.install_zeroed(PageId(p), Access::Write);
         }
         let mut shadow = vec![0u8; PAGE * 4];
-        for (addr, data) in &writes {
-            let addr = (*addr).min(PAGE * 4 - data.len());
-            prop_assert!(t.try_write(GlobalAddr(addr), data));
-            shadow[addr..addr + data.len()].copy_from_slice(data);
+        for _ in 0..1 + rng.below(29) {
+            let len = 1 + rng.below(15) as usize;
+            let addr = (rng.below((PAGE * 4 - 16) as u64) as usize).min(PAGE * 4 - len);
+            let data: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+            assert!(t.try_write(GlobalAddr(addr), &data));
+            shadow[addr..addr + len].copy_from_slice(&data);
         }
         let mut out = vec![0u8; PAGE * 4];
-        prop_assert!(t.try_read(GlobalAddr(0), &mut out));
-        prop_assert_eq!(out, shadow);
+        assert!(t.try_read(GlobalAddr(0), &mut out));
+        assert_eq!(out, shadow);
     }
 }

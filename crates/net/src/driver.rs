@@ -9,8 +9,8 @@
 //! an [`AppYield`]. Runs are therefore deterministic regardless of OS
 //! scheduling.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use std::cell::Cell;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
 use crate::kernel::{Ctx, Event, Kernel, NodeBehavior, OpOutcome};
 use crate::model::CostModel;
@@ -18,31 +18,45 @@ use crate::msg::NodeId;
 use crate::stats::NetStats;
 use crate::time::{Dur, SimTime};
 
-/// Kernel → program: "you have the floor at virtual time `time`".
+/// Kernel → program: "you have the floor at virtual time `time`, and
+/// may run ahead locally for up to `budget` of virtual time".
 struct Go<R> {
     time: SimTime,
     reply: Option<R>,
+    budget: Dur,
 }
 
-/// Program → kernel: why the program stopped running.
+/// Program → kernel: why the program stopped running. `elapsed` carries
+/// virtual time the program consumed locally (run-ahead under the
+/// granted budget) since its last rendezvous.
 enum AppYield<Op> {
-    /// Submit a DSM operation and wait for its reply.
-    Op(Op),
-    /// Model `Dur` of pure local computation.
+    /// Submit a DSM operation and wait for its reply. The op is
+    /// dispatched at `grant time + elapsed`.
+    Op { op: Op, elapsed: Dur },
+    /// Total local computation (including run-ahead) to charge.
     Advance(Dur),
-    /// The program returned.
-    Finished,
+    /// The program returned after `elapsed` of local run-ahead.
+    Finished { elapsed: Dur },
 }
 
 /// The application program's handle to the simulated machine. One per
 /// node; the program calls these methods and the kernel interleaves all
 /// programs deterministically in virtual time.
+///
+/// Virtual time as seen by the program is `base + used`: `base` is the
+/// kernel clock at the last `Go` grant and `used` is local run-ahead
+/// accumulated since, bounded by the granted `budget`. The fast-path
+/// accessors (`local_allows` / `consume_local` / `flush_local`) let a
+/// lease holder (see `dsm-core`) service page hits entirely on the app
+/// thread inside that window.
 pub struct AppHandle<Op, Reply> {
     node: NodeId,
     nnodes: u32,
     go_rx: Receiver<Go<Reply>>,
-    yield_tx: Sender<AppYield<Op>>,
-    now: Cell<SimTime>,
+    yield_tx: SyncSender<AppYield<Op>>,
+    base: Cell<SimTime>,
+    used: Cell<Dur>,
+    budget: Cell<Dur>,
 }
 
 impl<Op, Reply> AppHandle<Op, Reply> {
@@ -56,44 +70,90 @@ impl<Op, Reply> AppHandle<Op, Reply> {
         self.nnodes
     }
 
-    /// Current virtual time (as of the last time this program was
-    /// scheduled).
+    /// Current virtual time, including local run-ahead.
     pub fn now(&self) -> SimTime {
-        self.now.get()
+        self.base.get() + self.used.get()
+    }
+
+    fn recv_go(&self) -> Option<Reply> {
+        let go = self.go_rx.recv().expect("kernel hung up");
+        self.base.set(go.time);
+        self.used.set(Dur::ZERO);
+        self.budget.set(go.budget);
+        go.reply
     }
 
     /// Submit an operation to the local protocol and wait (in virtual
-    /// time) for its reply.
+    /// time) for its reply. Any accumulated run-ahead is charged first:
+    /// the kernel dispatches the op at `base + elapsed`.
     pub fn op(&self, op: Op) -> Reply {
+        let elapsed = self.used.replace(Dur::ZERO);
         self.yield_tx
-            .send(AppYield::Op(op))
+            .send(AppYield::Op { op, elapsed })
             .expect("kernel hung up");
-        let go = self.go_rx.recv().expect("kernel hung up");
-        self.now.set(go.time);
-        go.reply.expect("op resumed without a reply")
+        self.recv_go().expect("op resumed without a reply")
     }
 
-    /// Model `d` of pure local computation.
+    /// Model `d` of pure local computation. Accumulates locally while
+    /// the granted budget lasts; otherwise yields to the kernel.
     pub fn advance(&self, d: Dur) {
         if d == Dur::ZERO {
             return;
         }
+        let used = self.used.get();
+        if used + d <= self.budget.get() {
+            self.used.set(used + d);
+            return;
+        }
         self.yield_tx
-            .send(AppYield::Advance(d))
+            .send(AppYield::Advance(used + d))
             .expect("kernel hung up");
-        let go = self.go_rx.recv().expect("kernel hung up");
-        self.now.set(go.time);
-        debug_assert!(go.reply.is_none());
+        let reply = self.recv_go();
+        debug_assert!(reply.is_none());
+    }
+
+    /// True if `d` more virtual time fits in the current run-ahead
+    /// budget. A zero budget always fails: the fast path is disabled
+    /// whenever the kernel could not grant a window (e.g. zero-cost
+    /// models), so ordering matches the rendezvous path exactly.
+    pub fn local_allows(&self, d: Dur) -> bool {
+        let budget = self.budget.get();
+        budget > Dur::ZERO && self.used.get() + d <= budget
+    }
+
+    /// Consume `d` of the run-ahead budget for a locally serviced
+    /// access. Call only after [`AppHandle::local_allows`] approved it.
+    pub fn consume_local(&self, d: Dur) {
+        debug_assert!(self.local_allows(d), "consume_local exceeds granted budget");
+        self.used.set(self.used.get() + d);
+    }
+
+    /// Yield accumulated run-ahead to the kernel and receive a fresh
+    /// budget grant. Returns `false` (doing nothing) if no time has
+    /// been consumed since the last grant — yielding then would be a
+    /// pure no-op rendezvous and could perturb event ordering.
+    pub fn flush_local(&self) -> bool {
+        let used = self.used.get();
+        if used == Dur::ZERO {
+            return false;
+        }
+        self.yield_tx
+            .send(AppYield::Advance(used))
+            .expect("kernel hung up");
+        let reply = self.recv_go();
+        debug_assert!(reply.is_none());
+        true
     }
 
     fn wait_first_go(&self) {
-        let go = self.go_rx.recv().expect("kernel hung up");
-        self.now.set(go.time);
+        self.recv_go();
     }
 
     fn finish(&self) {
         // The kernel may already have shut down if it panicked.
-        let _ = self.yield_tx.send(AppYield::Finished);
+        let _ = self.yield_tx.send(AppYield::Finished {
+            elapsed: self.used.get(),
+        });
     }
 }
 
@@ -123,7 +183,11 @@ impl<N: NodeBehavior> Sim<N> {
     /// instances) and cost model.
     pub fn new(nodes: Vec<N>, model: CostModel) -> Self {
         assert!(!nodes.is_empty(), "need at least one node");
-        Sim { nodes, model, max_events: u64::MAX }
+        Sim {
+            nodes,
+            model,
+            max_events: u64::MAX,
+        }
     }
 
     /// Panic if more than `max` events are processed (livelock guard).
@@ -144,13 +208,13 @@ impl<N: NodeBehavior> Sim<N> {
         V: Send,
         F: FnOnce(&AppHandle<N::Op, N::Reply>) -> V + Send,
     {
-        let Sim { mut nodes, model, max_events } = self;
+        let Sim {
+            mut nodes,
+            model,
+            max_events,
+        } = self;
         let nnodes = nodes.len() as u32;
-        assert_eq!(
-            programs.len(),
-            nodes.len(),
-            "one program per node required"
-        );
+        assert_eq!(programs.len(), nodes.len(), "one program per node required");
 
         let mut kernel: Kernel<N> = Kernel::new(nnodes, model);
         kernel.set_max_events(max_events);
@@ -161,8 +225,8 @@ impl<N: NodeBehavior> Sim<N> {
         for i in 0..nodes.len() {
             // Capacity 1 is enough: strict rendezvous means at most one
             // message is ever in flight per channel.
-            let (go_tx, go_rx) = bounded::<Go<N::Reply>>(1);
-            let (yield_tx, yield_rx) = bounded::<AppYield<N::Op>>(1);
+            let (go_tx, go_rx) = sync_channel::<Go<N::Reply>>(1);
+            let (yield_tx, yield_rx) = sync_channel::<AppYield<N::Op>>(1);
             go_txs.push(go_tx);
             yield_rxs.push(yield_rx);
             handles.push(AppHandle {
@@ -170,7 +234,9 @@ impl<N: NodeBehavior> Sim<N> {
                 nnodes,
                 go_rx,
                 yield_tx,
-                now: Cell::new(SimTime::ZERO),
+                base: Cell::new(SimTime::ZERO),
+                used: Cell::new(Dur::ZERO),
+                budget: Cell::new(Dur::ZERO),
             });
         }
 
@@ -181,6 +247,9 @@ impl<N: NodeBehavior> Sim<N> {
         std::thread::scope(move |s| {
             let go_txs = go_txs;
             let yield_rxs = yield_rxs;
+            // Ops whose locally accumulated time is still being charged:
+            // the op dispatches when the matching Resume fires.
+            let mut pending_ops: Vec<Option<N::Op>> = (0..go_txs.len()).map(|_| None).collect();
             let mut joins = Vec::with_capacity(programs.len());
             for (program, handle) in programs.into_iter().zip(handles) {
                 joins.push(s.spawn(move || {
@@ -194,7 +263,10 @@ impl<N: NodeBehavior> Sim<N> {
             // Protocol start hooks, then kick every program at t=0 in
             // node order.
             for (i, node) in nodes.iter_mut().enumerate() {
-                let mut ctx = Ctx { kernel: &mut kernel, node: NodeId(i as u32) };
+                let mut ctx = Ctx {
+                    kernel: &mut kernel,
+                    node: NodeId(i as u32),
+                };
                 node.on_start(&mut ctx);
             }
             for i in 0..nodes.len() as u32 {
@@ -204,11 +276,17 @@ impl<N: NodeBehavior> Sim<N> {
             while let Some((_t, event)) = kernel.pop() {
                 match event {
                     Event::Deliver { src, dst, msg } => {
-                        let mut ctx = Ctx { kernel: &mut kernel, node: dst };
+                        let mut ctx = Ctx {
+                            kernel: &mut kernel,
+                            node: dst,
+                        };
                         nodes[dst.index()].on_message(&mut ctx, src, msg);
                     }
                     Event::Timer { node, token } => {
-                        let mut ctx = Ctx { kernel: &mut kernel, node };
+                        let mut ctx = Ctx {
+                            kernel: &mut kernel,
+                            node,
+                        };
                         nodes[node.index()].on_timer(&mut ctx, token);
                     }
                     Event::Resume { node } => {
@@ -217,57 +295,76 @@ impl<N: NodeBehavior> Sim<N> {
                             continue;
                         }
                         let mut reply = kernel.app[i].pending_reply.take();
+                        let mut next_op = pending_ops[i].take();
                         // Inner loop: keep the program running while its
                         // ops complete with zero cost at this instant.
                         loop {
-                            go_txs[i]
-                                .send(Go { time: kernel.now(), reply: reply.take() })
-                                .expect("program thread died");
-                            match yield_rxs[i].recv().expect("program thread died") {
-                                AppYield::Op(op) => {
-                                    kernel.app[i].in_op = true;
-                                    let outcome = {
-                                        let mut ctx =
-                                            Ctx { kernel: &mut kernel, node };
-                                        nodes[i].on_op(&mut ctx, op)
-                                    };
-                                    kernel.app[i].in_op = false;
-                                    match outcome {
-                                        OpOutcome::Done(r) => {
-                                            reply = Some(r);
-                                            continue;
+                            let op = match next_op.take() {
+                                Some(op) => op,
+                                None => {
+                                    let budget = kernel.local_budget(node);
+                                    go_txs[i]
+                                        .send(Go {
+                                            time: kernel.now(),
+                                            reply: reply.take(),
+                                            budget,
+                                        })
+                                        .expect("program thread died");
+                                    match yield_rxs[i].recv().expect("program thread died") {
+                                        AppYield::Op { op, elapsed } => {
+                                            if elapsed == Dur::ZERO {
+                                                op
+                                            } else {
+                                                // Charge the run-ahead first;
+                                                // the op dispatches when this
+                                                // Resume fires.
+                                                pending_ops[i] = Some(op);
+                                                let at = kernel.now() + elapsed;
+                                                kernel.schedule(at, Event::Resume { node });
+                                                break;
+                                            }
                                         }
-                                        OpOutcome::DoneAfter(r, d) => {
-                                            kernel.app[i].pending_reply = Some(r);
+                                        AppYield::Advance(d) => {
                                             let at = kernel.now() + d;
-                                            kernel.schedule(
-                                                at,
-                                                Event::Resume { node },
-                                            );
+                                            kernel.schedule(at, Event::Resume { node });
                                             break;
                                         }
-                                        OpOutcome::Blocked => {
-                                            // The op handler may complete
-                                            // synchronously via complete_op
-                                            // (e.g. colocated manager), in
-                                            // which case blocked is already
-                                            // false and a Resume is queued.
-                                            if kernel.app[i].pending_reply.is_none()
-                                            {
-                                                kernel.app[i].blocked = true;
-                                            }
+                                        AppYield::Finished { elapsed } => {
+                                            kernel.app[i].finished = true;
+                                            kernel.app[i].finish_time = kernel.now() + elapsed;
                                             break;
                                         }
                                     }
                                 }
-                                AppYield::Advance(d) => {
+                            };
+                            kernel.app[i].in_op = true;
+                            let outcome = {
+                                let mut ctx = Ctx {
+                                    kernel: &mut kernel,
+                                    node,
+                                };
+                                nodes[i].on_op(&mut ctx, op)
+                            };
+                            kernel.app[i].in_op = false;
+                            match outcome {
+                                OpOutcome::Done(r) => {
+                                    reply = Some(r);
+                                }
+                                OpOutcome::DoneAfter(r, d) => {
+                                    kernel.app[i].pending_reply = Some(r);
                                     let at = kernel.now() + d;
                                     kernel.schedule(at, Event::Resume { node });
                                     break;
                                 }
-                                AppYield::Finished => {
-                                    kernel.app[i].finished = true;
-                                    kernel.app[i].finish_time = kernel.now();
+                                OpOutcome::Blocked => {
+                                    // The op handler may complete
+                                    // synchronously via complete_op
+                                    // (e.g. colocated manager), in
+                                    // which case blocked is already
+                                    // false and a Resume is queued.
+                                    if kernel.app[i].pending_reply.is_none() {
+                                        kernel.app[i].blocked = true;
+                                    }
                                     break;
                                 }
                             }
@@ -289,12 +386,18 @@ impl<N: NodeBehavior> Sim<N> {
                 );
             }
 
-            let results: Vec<V> =
-                joins.into_iter().map(|j| j.join().expect("program panicked")).collect();
-            let finish_times: Vec<SimTime> =
-                kernel.app.iter().map(|s| s.finish_time).collect();
+            let results: Vec<V> = joins
+                .into_iter()
+                .map(|j| j.join().expect("program panicked"))
+                .collect();
+            let finish_times: Vec<SimTime> = kernel.app.iter().map(|s| s.finish_time).collect();
             let end_time = finish_times.iter().copied().max().unwrap_or(SimTime::ZERO);
-            RunResult { end_time, finish_times, stats: kernel.stats.clone(), results }
+            RunResult {
+                end_time,
+                finish_times,
+                stats: kernel.stats.clone(),
+                results,
+            }
         })
     }
 }
@@ -318,6 +421,12 @@ mod tests {
             match self {
                 PingMsg::Ping => "Ping",
                 PingMsg::Pong => "Pong",
+            }
+        }
+        fn kind_id(&self) -> crate::stats::KindId {
+            match self {
+                PingMsg::Ping => crate::stats::KindId(40),
+                PingMsg::Pong => crate::stats::KindId(41),
             }
         }
     }

@@ -68,6 +68,13 @@ pub(crate) enum Event<M> {
     Timer { node: NodeId, token: u64 },
 }
 
+/// Upper bound on how far one program may run ahead of the kernel clock
+/// inside a single [`crate::driver::Go`] grant, even when the event
+/// queue is empty. Keeps the `max_events` livelock guard meaningful and
+/// bounds how long a spinning program can go without seeing newly
+/// delivered invalidations.
+pub const MAX_LOCAL_QUANTUM: Dur = Dur::millis(1);
+
 struct HeapEntry<M> {
     time: SimTime,
     seq: u64,
@@ -138,11 +145,23 @@ pub struct Kernel<N: NodeBehavior + ?Sized> {
     nic_free: Vec<SimTime>,
     /// Per-node receive-path occupancy, serializing inbound handling.
     recv_free: Vec<SimTime>,
+    /// Mirror of the event heap restricted to events that run *on* a
+    /// given node (Deliver/Timer), as a per-node min-heap of times.
+    /// Supports O(log n) computation of the run-ahead budget handed to
+    /// application programs (see [`Kernel::local_budget`]).
+    direct_min: Vec<BinaryHeap<Reverse<SimTime>>>,
+    /// Minimum virtual-time distance between processing any event and a
+    /// message it sends arriving anywhere: the PDES lookahead.
+    min_net_delay: Dur,
 }
 
 impl<N: NodeBehavior + ?Sized> Kernel<N> {
     pub(crate) fn new(nnodes: u32, model: CostModel) -> Self {
         let jitter = XorShift64::new(model.jitter_seed);
+        let min_net_delay = model.send_overhead
+            + model.wire_latency
+            + model.recv_overhead
+            + Dur::nanos(model.header_bytes as u64 * model.ns_per_byte);
         Kernel {
             heap: BinaryHeap::new(),
             seq: 0,
@@ -156,6 +175,8 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
             max_events: u64::MAX,
             nic_free: vec![SimTime::ZERO; nnodes as usize],
             recv_free: vec![SimTime::ZERO; nnodes as usize],
+            direct_min: (0..nnodes).map(|_| BinaryHeap::new()).collect(),
+            min_net_delay,
         }
     }
 
@@ -167,9 +188,18 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
 
     pub(crate) fn schedule(&mut self, at: SimTime, event: Event<N::Msg>) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
+        match &event {
+            Event::Deliver { dst, .. } => self.direct_min[dst.index()].push(Reverse(at)),
+            Event::Timer { node, .. } => self.direct_min[node.index()].push(Reverse(at)),
+            Event::Resume { .. } => {}
+        }
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(HeapEntry { time: at, seq, event }));
+        self.heap.push(Reverse(HeapEntry {
+            time: at,
+            seq,
+            event,
+        }));
     }
 
     pub(crate) fn pop(&mut self) -> Option<(SimTime, Event<N::Msg>)> {
@@ -181,8 +211,43 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
                 self.max_events, self.now
             );
         }
+        match &e.event {
+            Event::Deliver { dst, .. } => {
+                let popped = self.direct_min[dst.index()].pop();
+                debug_assert_eq!(popped, Some(Reverse(e.time)));
+            }
+            Event::Timer { node, .. } => {
+                let popped = self.direct_min[node.index()].pop();
+                debug_assert_eq!(popped, Some(Reverse(e.time)));
+            }
+            Event::Resume { .. } => {}
+        }
         self.now = e.time;
         Some((e.time, e.event))
+    }
+
+    /// Virtual-time budget granted to `node`'s program for local
+    /// run-ahead (the lease quantum): the program may consume up to this
+    /// much virtual time — servicing page hits and pure computation on
+    /// its own thread — without rendezvousing with the kernel.
+    ///
+    /// Sound because while a program holds the floor the kernel is
+    /// parked, so the event heap is frozen. Any event that could mutate
+    /// this node's protocol state before the horizon either (a) already
+    /// targets this node and is bounded by `direct_min`, or (b) must be
+    /// generated by processing some event at `heap top` or later and so
+    /// cannot arrive before `heap top + min_net_delay`. One nanosecond
+    /// is shaved off so locally serviced accesses stay strictly before
+    /// any handler the kernel has yet to run (see docs/PERF.md).
+    pub(crate) fn local_budget(&self, node: NodeId) -> Dur {
+        let mut horizon = self.now.0.saturating_add(MAX_LOCAL_QUANTUM.0);
+        if let Some(&Reverse(t)) = self.direct_min[node.index()].peek() {
+            horizon = horizon.min(t.0);
+        }
+        if let Some(Reverse(e)) = self.heap.peek() {
+            horizon = horizon.min(e.time.0.saturating_add(self.min_net_delay.0));
+        }
+        Dur(horizon.saturating_sub(self.now.0).saturating_sub(1))
     }
 
     pub(crate) fn now(&self) -> SimTime {
@@ -204,7 +269,7 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
 
     fn send_inner(&mut self, src: NodeId, dst: NodeId, msg: N::Msg, extra: Dur) {
         let bytes = msg.wire_bytes();
-        self.stats.record(msg.kind(), bytes);
+        self.stats.record(msg.kind_id(), msg.kind(), bytes);
         // Sender side: the message queues behind whatever this node is
         // already transmitting.
         let total_bytes = (bytes + self.model.header_bytes) as u64;
@@ -293,12 +358,18 @@ impl<'a, N: NodeBehavior + ?Sized> Ctx<'a, N> {
     /// Arrange for `on_timer(token)` on this node after `delay`.
     pub fn set_timer(&mut self, delay: Dur, token: u64) {
         let at = self.kernel.now + delay;
-        self.kernel.schedule(at, Event::Timer { node: self.node, token });
+        self.kernel.schedule(
+            at,
+            Event::Timer {
+                node: self.node,
+                token,
+            },
+        );
     }
 
     /// Record a pseudo message in the traffic stats without sending
     /// anything (used to account for piggybacked payloads).
-    pub fn account(&mut self, kind: &'static str, bytes: usize) {
-        self.kernel.stats.record(kind, bytes);
+    pub fn account(&mut self, id: crate::stats::KindId, kind: &'static str, bytes: usize) {
+        self.kernel.stats.record(id, kind, bytes);
     }
 }

@@ -18,13 +18,16 @@
 //! meaningful.
 //!
 //! ```
-//! use dsm_net::{AppHandle, CostModel, Ctx, Dur, NodeBehavior, NodeId, OpOutcome, Payload, Sim};
+//! use dsm_net::{
+//!     AppHandle, CostModel, Ctx, Dur, KindId, NodeBehavior, NodeId, OpOutcome, Payload, Sim,
+//! };
 //!
 //! // A one-message "protocol": ops are added remotely by node 0.
 //! enum M { Add(u64), Ack }
 //! impl Payload for M {
 //!     fn wire_bytes(&self) -> usize { 8 }
 //!     fn kind(&self) -> &'static str { "Add" }
+//!     fn kind_id(&self) -> KindId { KindId(40) }
 //! }
 //! #[derive(Default)]
 //! struct Adder { total: u64 }
@@ -59,9 +62,9 @@ mod stats;
 mod time;
 
 pub use driver::{AppHandle, RunResult, Sim};
-pub use kernel::{Ctx, NodeBehavior, OpOutcome};
+pub use kernel::{Ctx, NodeBehavior, OpOutcome, MAX_LOCAL_QUANTUM};
 pub use model::CostModel;
 pub use msg::{Envelope, NodeId, Payload};
 pub use rng::XorShift64;
-pub use stats::{KindStats, NetStats};
+pub use stats::{KindId, KindStats, NetStats, MAX_KINDS};
 pub use time::{Dur, SimTime};

@@ -1,5 +1,6 @@
 //! Node identity and message payload abstractions.
 
+use crate::stats::KindId;
 use std::fmt;
 
 /// Identity of a simulated node (processor). Dense, starting at 0.
@@ -31,6 +32,12 @@ pub trait Payload: Send + 'static {
 
     /// Statistics bucket for this message.
     fn kind(&self) -> &'static str;
+
+    /// Fixed statistics slot for this message class; must be below
+    /// [`crate::stats::MAX_KINDS`] and in one-to-one correspondence
+    /// with [`Payload::kind`]. Id ranges are assigned per layer:
+    /// coherence 0–31, synchronization 32–39, scratch/test 40–47.
+    fn kind_id(&self) -> KindId;
 }
 
 /// A payload in flight from `src` to `dst`.

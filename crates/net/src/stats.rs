@@ -1,8 +1,29 @@
 //! Traffic accounting. Every send is recorded under its payload's
-//! `kind()` bucket; experiment harnesses print these tables directly.
+//! kind; experiment harnesses print these tables directly.
+//!
+//! Recording is on the per-message hot path, so buckets live in a
+//! fixed-size array indexed by a small per-kind id supplied by the
+//! payload ([`crate::Payload::kind_id`]) — no map lookup per record.
+//! Iteration stays in deterministic (alphabetical) name order so
+//! experiment tables are unchanged.
 
-use std::collections::BTreeMap;
 use std::fmt;
+
+/// Number of statistics slots. Kind ids are assigned statically per
+/// layer: coherence protocols use 0–31, synchronization 32–39, and
+/// scratch/test payloads 40–47.
+pub const MAX_KINDS: usize = 48;
+
+/// Index of a message class in the fixed statistics table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindId(pub u8);
+
+impl KindId {
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// Count and byte volume for one message class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -12,9 +33,19 @@ pub struct KindStats {
 }
 
 /// Aggregate network traffic for a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetStats {
-    kinds: BTreeMap<&'static str, KindStats>,
+    counts: [KindStats; MAX_KINDS],
+    names: [Option<&'static str>; MAX_KINDS],
+}
+
+impl Default for NetStats {
+    fn default() -> Self {
+        NetStats {
+            counts: [KindStats { count: 0, bytes: 0 }; MAX_KINDS],
+            names: [None; MAX_KINDS],
+        }
+    }
 }
 
 impl NetStats {
@@ -22,39 +53,67 @@ impl NetStats {
         Self::default()
     }
 
-    /// Record one message of `kind` with `bytes` of modeled body.
-    pub fn record(&mut self, kind: &'static str, bytes: usize) {
-        let k = self.kinds.entry(kind).or_default();
+    /// Record one message of class (`id`, `kind`) with `bytes` of
+    /// modeled body. O(1): a single array index.
+    #[inline]
+    pub fn record(&mut self, id: KindId, kind: &'static str, bytes: usize) {
+        let i = id.index();
+        debug_assert!(
+            self.names[i].is_none_or(|n| n == kind),
+            "kind id {} reused: {} vs {}",
+            i,
+            self.names[i].unwrap_or(""),
+            kind
+        );
+        self.names[i] = Some(kind);
+        let k = &mut self.counts[i];
         k.count += 1;
         k.bytes += bytes as u64;
     }
 
     /// Total messages across all classes.
     pub fn total_msgs(&self) -> u64 {
-        self.kinds.values().map(|k| k.count).sum()
+        self.counts.iter().map(|k| k.count).sum()
     }
 
     /// Total body bytes across all classes.
     pub fn total_bytes(&self) -> u64 {
-        self.kinds.values().map(|k| k.bytes).sum()
+        self.counts.iter().map(|k| k.bytes).sum()
     }
 
     /// Stats for one message class (zero if never seen).
     pub fn kind(&self, kind: &str) -> KindStats {
-        self.kinds.get(kind).copied().unwrap_or_default()
+        self.names
+            .iter()
+            .position(|n| *n == Some(kind))
+            .map(|i| self.counts[i])
+            .unwrap_or_default()
     }
 
-    /// Iterate classes in deterministic (alphabetical) order.
+    /// Iterate recorded classes in deterministic (alphabetical) order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, KindStats)> + '_ {
-        self.kinds.iter().map(|(k, v)| (*k, *v))
+        let mut seen: Vec<(&'static str, KindStats)> = self
+            .names
+            .iter()
+            .zip(self.counts.iter())
+            .filter_map(|(n, k)| n.map(|n| (n, *k)))
+            .collect();
+        seen.sort_unstable_by_key(|(n, _)| *n);
+        seen.into_iter()
     }
 
     /// Fold another run's traffic into this one.
     pub fn merge(&mut self, other: &NetStats) {
-        for (kind, k) in other.iter() {
-            let e = self.kinds.entry(kind).or_default();
-            e.count += k.count;
-            e.bytes += k.bytes;
+        for i in 0..MAX_KINDS {
+            if let Some(name) = other.names[i] {
+                debug_assert!(
+                    self.names[i].is_none_or(|n| n == name),
+                    "kind id {i} reused across merged tables"
+                );
+                self.names[i] = Some(name);
+                self.counts[i].count += other.counts[i].count;
+                self.counts[i].bytes += other.counts[i].bytes;
+            }
         }
     }
 }
@@ -79,13 +138,24 @@ impl fmt::Display for NetStats {
 mod tests {
     use super::*;
 
+    const READ_REQ: KindId = KindId(0);
+    const PAGE: KindId = KindId(1);
+    const X: KindId = KindId(40);
+    const Y: KindId = KindId(41);
+
     #[test]
     fn record_and_totals() {
         let mut s = NetStats::new();
-        s.record("ReadReq", 8);
-        s.record("ReadReq", 8);
-        s.record("Page", 4096);
-        assert_eq!(s.kind("ReadReq"), KindStats { count: 2, bytes: 16 });
+        s.record(READ_REQ, "ReadReq", 8);
+        s.record(READ_REQ, "ReadReq", 8);
+        s.record(PAGE, "Page", 4096);
+        assert_eq!(
+            s.kind("ReadReq"),
+            KindStats {
+                count: 2,
+                bytes: 16
+            }
+        );
         assert_eq!(s.total_msgs(), 3);
         assert_eq!(s.total_bytes(), 16 + 4096);
         assert_eq!(s.kind("absent"), KindStats::default());
@@ -94,10 +164,10 @@ mod tests {
     #[test]
     fn merge_adds() {
         let mut a = NetStats::new();
-        a.record("X", 1);
+        a.record(X, "X", 1);
         let mut b = NetStats::new();
-        b.record("X", 2);
-        b.record("Y", 3);
+        b.record(X, "X", 2);
+        b.record(Y, "Y", 3);
         a.merge(&b);
         assert_eq!(a.kind("X"), KindStats { count: 2, bytes: 3 });
         assert_eq!(a.kind("Y"), KindStats { count: 1, bytes: 3 });
@@ -106,9 +176,28 @@ mod tests {
     #[test]
     fn display_is_table() {
         let mut s = NetStats::new();
-        s.record("A", 10);
+        s.record(X, "A", 10);
         let text = format!("{}", s);
         assert!(text.contains("TOTAL"));
         assert!(text.contains("A"));
+    }
+
+    #[test]
+    fn iter_is_alphabetical_regardless_of_id_order() {
+        let mut s = NetStats::new();
+        s.record(Y, "Alpha", 1);
+        s.record(X, "Beta", 2);
+        let order: Vec<&str> = s.iter().map(|(n, _)| n).collect();
+        assert_eq!(order, vec!["Alpha", "Beta"]);
+    }
+
+    #[test]
+    fn equality_detects_differences() {
+        let mut a = NetStats::new();
+        a.record(X, "X", 1);
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.record(X, "X", 1);
+        assert_ne!(a, b);
     }
 }

@@ -74,13 +74,11 @@ pub trait Protocol: Send {
     /// The application read-faulted on `page`. Return `true` when the
     /// fault was satisfied synchronously (rights now sufficient);
     /// otherwise [`ProtoEvent::PageReady`] must follow.
-    fn read_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId)
-        -> bool;
+    fn read_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool;
 
     /// The application write-faulted on `page`. Same contract as
     /// [`Protocol::read_fault`].
-    fn write_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId)
-        -> bool;
+    fn write_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool;
 
     /// An application write whose rights were insufficient. The default
     /// maps it onto [`Protocol::write_fault`] of the first offending
@@ -152,7 +150,12 @@ pub trait Protocol: Send {
 
     /// Payload deposited with a centralized lock server on release
     /// (the next grantee is unknown, so this must suffice for anyone).
-    fn release_piggy(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable, _lock: LockId) -> Piggy {
+    fn release_piggy(
+        &mut self,
+        _io: &mut dyn ProtoIo,
+        _mem: &mut FrameTable,
+        _lock: LockId,
+    ) -> Piggy {
         Piggy::None
     }
 
@@ -186,12 +189,7 @@ pub trait Protocol: Send {
     }
 
     /// Apply the payload received with a barrier release.
-    fn on_barrier_released(
-        &mut self,
-        _io: &mut dyn ProtoIo,
-        _mem: &mut FrameTable,
-        _piggy: Piggy,
-    ) {
+    fn on_barrier_released(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable, _piggy: Piggy) {
     }
 
     /// Local cost to install a fetched page (charged by the runtime

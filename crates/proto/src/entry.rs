@@ -14,7 +14,7 @@
 //! exactly as Midway required.
 
 use crate::api::{ProtoEvent, ProtoIo, Protocol};
-use crate::msg::{Piggy, ProtoMsg};
+use crate::msg::{EntryUpdateLog, Piggy, ProtoMsg};
 use dsm_mem::{Access, FrameTable, GlobalAddr, PageDiff, PageId, SpaceLayout};
 use dsm_net::NodeId;
 use dsm_sync::LockId;
@@ -70,7 +70,13 @@ impl Entry {
             );
             regions.entry(b.lock).or_default().push((b.addr.0, b.len));
         }
-        Entry { layout, me, regions, twins: HashMap::new(), locks: HashMap::new() }
+        Entry {
+            layout,
+            me,
+            regions,
+            twins: HashMap::new(),
+            locks: HashMap::new(),
+        }
     }
 
     /// Raw range read (rights-agnostic; protocol internal).
@@ -100,7 +106,9 @@ impl Entry {
             let page = g.page_of(a);
             let off = g.offset_in_page(a);
             let n = (g.page_size() - off).min(data.len() - pos);
-            let bytes = mem.page_bytes_mut(page).expect("entry pages are pre-installed");
+            let bytes = mem
+                .page_bytes_mut(page)
+                .expect("entry pages are pre-installed");
             bytes[off..off + n].copy_from_slice(&data[pos..pos + n]);
             if let Some(twin) = self.twins.get_mut(&page.0) {
                 twin[off..off + n].copy_from_slice(&data[pos..pos + n]);
@@ -220,10 +228,12 @@ impl Protocol for Entry {
         // First write since the last barrier: snapshot a twin for the
         // barrier diff, then write locally.
         let p = page.0;
-        if !self.twins.contains_key(&p) {
-            let data = mem.page_bytes(page).expect("pre-installed").to_vec().into_boxed_slice();
-            self.twins.insert(p, data);
-        }
+        self.twins.entry(p).or_insert_with(|| {
+            mem.page_bytes(page)
+                .expect("pre-installed")
+                .to_vec()
+                .into_boxed_slice()
+        });
         mem.set_access(page, Access::Write);
         true
     }
@@ -236,7 +246,10 @@ impl Protocol for Entry {
         msg: ProtoMsg,
         _events: &mut Vec<ProtoEvent>,
     ) {
-        panic!("entry consistency uses no coherence messages, got {}", dsm_net::Payload::kind(&msg));
+        panic!(
+            "entry consistency uses no coherence messages, got {}",
+            dsm_net::Payload::kind(&msg)
+        );
     }
 
     fn acquire_reqinfo(&mut self, _mem: &mut FrameTable, lock: LockId) -> Piggy {
@@ -269,12 +282,7 @@ impl Protocol for Entry {
         Piggy::EntryLog(missing)
     }
 
-    fn release_piggy(
-        &mut self,
-        io: &mut dyn ProtoIo,
-        mem: &mut FrameTable,
-        lock: LockId,
-    ) -> Piggy {
+    fn release_piggy(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, lock: LockId) -> Piggy {
         // Centralized server deposit: the grantee's version is unknown,
         // so deposit the full log (the receiver filters by version).
         self.grant_piggy(io, mem, lock, self.me, &Piggy::None)
@@ -304,7 +312,11 @@ impl Protocol for Entry {
             other => panic!("entry acquired with unexpected piggy {other:?}"),
         }
         // Snapshot the regions: the diff basis for our own writes.
-        let images = self.region_images(mem, lock).into_iter().map(|(_, b)| b).collect();
+        let images = self
+            .region_images(mem, lock)
+            .into_iter()
+            .map(|(_, b)| b)
+            .collect();
         self.locks.entry(lock).or_default().snapshot = Some(images);
     }
 
@@ -322,7 +334,7 @@ impl Protocol for Entry {
         diffs.sort_by_key(|(p, _)| *p);
         // Attach every lock's version plus the entries created since the
         // last barrier, so barriers synchronize guarded data too.
-        let mut locks: Vec<(u32, u64, Vec<(u64, Vec<(u32, PageDiff)>)>)> = self
+        let mut locks: Vec<(u32, u64, EntryUpdateLog)> = self
             .locks
             .iter()
             .map(|(lock, st)| {
@@ -357,8 +369,7 @@ impl Protocol for Entry {
             match piggy {
                 Piggy::EntryArrive { diffs, locks } => {
                     for (page, diff) in diffs {
-                        let bytes =
-                            mem.page_bytes_mut(PageId(page)).expect("pre-installed");
+                        let bytes = mem.page_bytes_mut(PageId(page)).expect("pre-installed");
                         diff.apply(bytes);
                         dirty.push(page);
                     }
@@ -383,11 +394,14 @@ impl Protocol for Entry {
                     .map(|&p| {
                         (
                             p * self.layout.geometry.page_size(),
-                            mem.page_bytes(PageId(p)).unwrap().to_vec().into_boxed_slice(),
+                            mem.page_bytes(PageId(p))
+                                .unwrap()
+                                .to_vec()
+                                .into_boxed_slice(),
                         )
                     })
                     .collect();
-                let locks: Vec<(u32, Vec<(u64, Vec<(u32, PageDiff)>)>)> = pool
+                let locks: Vec<(u32, EntryUpdateLog)> = pool
                     .iter()
                     .map(|(lock, entries)| {
                         let have = versions[node.index()]
@@ -403,17 +417,18 @@ impl Protocol for Entry {
                         (*lock, missing)
                     })
                     .collect();
-                (node, Piggy::EntryRelease { pages: images, locks })
+                (
+                    node,
+                    Piggy::EntryRelease {
+                        pages: images,
+                        locks,
+                    },
+                )
             })
             .collect()
     }
 
-    fn on_barrier_released(
-        &mut self,
-        _io: &mut dyn ProtoIo,
-        mem: &mut FrameTable,
-        piggy: Piggy,
-    ) {
+    fn on_barrier_released(&mut self, _io: &mut dyn ProtoIo, mem: &mut FrameTable, piggy: Piggy) {
         match piggy {
             Piggy::EntryRelease { pages, locks } => {
                 let g = self.layout.geometry;

@@ -59,14 +59,12 @@ impl Erc {
     }
 
     fn make_twin(&mut self, mem: &mut FrameTable, page: usize) {
-        if !self.twins.contains_key(&page) {
-            let data = mem
-                .page_bytes(PageId(page))
+        self.twins.entry(page).or_insert_with(|| {
+            mem.page_bytes(PageId(page))
                 .expect("twin of a missing page")
                 .to_vec()
-                .into_boxed_slice();
-            self.twins.insert(page, data);
-        }
+                .into_boxed_slice()
+        });
         mem.set_access(PageId(page), Access::Write);
     }
 
@@ -102,10 +100,7 @@ impl Erc {
             if let Some(cs) = self.copyset.get(page) {
                 for m in cs.iter() {
                     if m != writer && m != self.me {
-                        per_member
-                            .entry(m)
-                            .or_default()
-                            .push((*page, diff.clone()));
+                        per_member.entry(m).or_default().push((*page, diff.clone()));
                     }
                 }
             }
@@ -118,7 +113,14 @@ impl Erc {
         let mut members: Vec<_> = per_member.into_iter().collect();
         members.sort_by_key(|(m, _)| *m);
         for (m, d) in members {
-            io.send(m, ProtoMsg::DiffApply { flush, home: self.me, diffs: d });
+            io.send(
+                m,
+                ProtoMsg::DiffApply {
+                    flush,
+                    home: self.me,
+                    diffs: d,
+                },
+            );
         }
         self.inflight.insert(flush, (writer, remaining));
         false
@@ -181,7 +183,10 @@ impl Protocol for Erc {
             if diff.is_empty() {
                 continue;
             }
-            by_home.entry(self.home_of(page)).or_default().push((page, diff));
+            by_home
+                .entry(self.home_of(page))
+                .or_default()
+                .push((page, diff));
         }
         let mut homes: Vec<_> = by_home.into_iter().collect();
         homes.sort_by_key(|(h, _)| *h);
@@ -264,7 +269,10 @@ impl Protocol for Erc {
             }
             ProtoMsg::FlushAck { .. } => self.flush_acked(events),
             other => {
-                panic!("erc got unexpected message {}", dsm_net::Payload::kind(&other))
+                panic!(
+                    "erc got unexpected message {}",
+                    dsm_net::Payload::kind(&other)
+                )
             }
         }
     }

@@ -20,9 +20,7 @@
 
 use crate::api::{ProtoEvent, ProtoIo, Protocol};
 use crate::msg::ProtoMsg;
-use dsm_mem::{
-    Access, Directory, FrameTable, NodeSet, PageId, PendingReq, SpaceLayout,
-};
+use dsm_mem::{Access, Directory, FrameTable, NodeSet, PageId, PendingReq, SpaceLayout};
 use dsm_net::NodeId;
 use std::collections::{HashMap, HashSet};
 
@@ -162,7 +160,10 @@ impl Ivy {
         let home = self.layout.home_of(PageId(page));
         let entry = self.dir.entry_mut(page, home);
         if entry.locked {
-            entry.pending.push(PendingReq { from: requester, write });
+            entry.pending.push(PendingReq {
+                from: requester,
+                write,
+            });
             return;
         }
         entry.locked = true;
@@ -183,7 +184,13 @@ impl Ivy {
                     mem.invalidate(PageId(page));
                     io.send(requester, ProtoMsg::InvalAck { page });
                 } else {
-                    io.send(n, ProtoMsg::Inval { page, new_owner: requester });
+                    io.send(
+                        n,
+                        ProtoMsg::Inval {
+                            page,
+                            new_owner: requester,
+                        },
+                    );
                 }
             }
             if owner == requester {
@@ -192,19 +199,34 @@ impl Ivy {
             } else if owner == self.me {
                 // Manager is the owner: hand over data + ownership.
                 self.ensure_frame(mem, page);
-                let data = mem.page_bytes(PageId(page)).unwrap().to_vec().into_boxed_slice();
+                let data = mem
+                    .page_bytes(PageId(page))
+                    .unwrap()
+                    .to_vec()
+                    .into_boxed_slice();
                 mem.invalidate(PageId(page));
                 self.owned.remove(&page);
                 self.send_or_local_own(io, mem, page, requester, Some(data), ninval, events);
             } else {
-                io.send(owner, ProtoMsg::FwdWrite { page, requester, ninval });
+                io.send(
+                    owner,
+                    ProtoMsg::FwdWrite {
+                        page,
+                        requester,
+                        ninval,
+                    },
+                );
             }
         } else {
             debug_assert_ne!(owner, requester, "owner cannot read-fault");
             if owner == self.me {
                 self.ensure_frame(mem, page);
                 mem.set_access(PageId(page), Access::Read);
-                let data = mem.page_bytes(PageId(page)).unwrap().to_vec().into_boxed_slice();
+                let data = mem
+                    .page_bytes(PageId(page))
+                    .unwrap()
+                    .to_vec()
+                    .into_boxed_slice();
                 self.send_or_local_read(io, mem, page, requester, data, events);
             } else {
                 io.send(owner, ProtoMsg::FwdRead { page, requester });
@@ -228,6 +250,7 @@ impl Ivy {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_or_local_own(
         &mut self,
         io: &mut dyn ProtoIo,
@@ -241,11 +264,20 @@ impl Ivy {
         if requester == self.me {
             self.recv_page_own(io, mem, page, data, ninval, None, events);
         } else {
-            io.send(requester, ProtoMsg::PageOwn { page, data, ninval, copyset: None });
+            io.send(
+                requester,
+                ProtoMsg::PageOwn {
+                    page,
+                    data,
+                    ninval,
+                    copyset: None,
+                },
+            );
         }
     }
 
     /// Manager-side transaction completion.
+    #[allow(clippy::too_many_arguments)]
     fn mgr_confirm(
         &mut self,
         io: &mut dyn ProtoIo,
@@ -284,7 +316,10 @@ impl Ivy {
         events: &mut Vec<ProtoEvent>,
     ) {
         let poisoned = {
-            let pend = self.pending.as_mut().expect("PageRead with no pending fault");
+            let pend = self
+                .pending
+                .as_mut()
+                .expect("PageRead with no pending fault");
             assert_eq!(pend.page, page);
             assert!(!pend.write);
             std::mem::take(&mut pend.poisoned)
@@ -315,7 +350,10 @@ impl Ivy {
         events: &mut Vec<ProtoEvent>,
     ) {
         {
-            let pend = self.pending.as_mut().expect("PageOwn with no pending fault");
+            let pend = self
+                .pending
+                .as_mut()
+                .expect("PageOwn with no pending fault");
             assert_eq!(pend.page, page);
             assert!(pend.write);
             pend.got_grant = true;
@@ -323,7 +361,10 @@ impl Ivy {
         if let Some(data) = data {
             mem.install(PageId(page), data, Access::Read); // upgraded on completion
         } else {
-            debug_assert!(mem.page_bytes(PageId(page)).is_some(), "upgrade without copy");
+            debug_assert!(
+                mem.page_bytes(PageId(page)).is_some(),
+                "upgrade without copy"
+            );
         }
         self.owned.insert(page);
         match self.scheme {
@@ -333,7 +374,13 @@ impl Ivy {
                 let cs = copyset.unwrap_or_default();
                 let mut n = 0;
                 for member in cs.iter().filter(|&m| m != self.me) {
-                    io.send(member, ProtoMsg::Inval { page, new_owner: self.me });
+                    io.send(
+                        member,
+                        ProtoMsg::Inval {
+                            page,
+                            new_owner: self.me,
+                        },
+                    );
                     n += 1;
                 }
                 let pend = self.pending.as_mut().unwrap();
@@ -393,7 +440,10 @@ impl Ivy {
             .as_ref()
             .is_some_and(|p| p.page == page && p.write);
         if self.defer.contains(&page) || becoming_owner {
-            self.queued.entry(page).or_default().push((requester, write));
+            self.queued
+                .entry(page)
+                .or_default()
+                .push((requester, write));
             return;
         }
         if self.owned.contains(&page) {
@@ -404,8 +454,11 @@ impl Ivy {
                 let mut cs = self.copyset.remove(&page).unwrap_or_default();
                 cs.remove(requester);
                 cs.remove(self.me);
-                let data =
-                    mem.page_bytes(PageId(page)).unwrap().to_vec().into_boxed_slice();
+                let data = mem
+                    .page_bytes(PageId(page))
+                    .unwrap()
+                    .to_vec()
+                    .into_boxed_slice();
                 mem.invalidate(PageId(page));
                 self.owned.remove(&page);
                 self.prob_owner.insert(page, requester);
@@ -424,8 +477,11 @@ impl Ivy {
                     .entry(page)
                     .or_insert_with(|| NodeSet::singleton(self.me))
                     .insert(requester);
-                let data =
-                    mem.page_bytes(PageId(page)).unwrap().to_vec().into_boxed_slice();
+                let data = mem
+                    .page_bytes(PageId(page))
+                    .unwrap()
+                    .to_vec()
+                    .into_boxed_slice();
                 io.send(requester, ProtoMsg::PageRead { page, data });
             }
         } else {
@@ -435,7 +491,11 @@ impl Ivy {
             debug_assert_ne!(target, self.me, "hint loop at non-owner");
             let msg = if write {
                 self.prob_owner.insert(page, requester);
-                ProtoMsg::FwdWrite { page, requester, ninval: 0 }
+                ProtoMsg::FwdWrite {
+                    page,
+                    requester,
+                    ninval: 0,
+                }
             } else {
                 ProtoMsg::FwdRead { page, requester }
             };
@@ -453,12 +513,7 @@ impl Protocol for Ivy {
         }
     }
 
-    fn read_fault(
-        &mut self,
-        io: &mut dyn ProtoIo,
-        mem: &mut FrameTable,
-        page: PageId,
-    ) -> bool {
+    fn read_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
         let p = page.0;
         if self.owned.contains(&p) {
             // First touch of an owned page.
@@ -488,12 +543,7 @@ impl Protocol for Ivy {
         }
     }
 
-    fn write_fault(
-        &mut self,
-        io: &mut dyn ProtoIo,
-        mem: &mut FrameTable,
-        page: PageId,
-    ) -> bool {
+    fn write_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
         let p = page.0;
         if self.owned.contains(&p) {
             self.ensure_frame(mem, p);
@@ -504,8 +554,7 @@ impl Protocol for Ivy {
             match self.scheme {
                 ManagerScheme::Dynamic => {
                     let cs = self.copyset.get(&p).cloned().unwrap_or_default();
-                    let members: Vec<NodeId> =
-                        cs.iter().filter(|&m| m != self.me).collect();
+                    let members: Vec<NodeId> = cs.iter().filter(|&m| m != self.me).collect();
                     if members.is_empty() {
                         mem.set_access(page, Access::Write);
                         self.copyset.insert(p, NodeSet::singleton(self.me));
@@ -518,7 +567,13 @@ impl Protocol for Ivy {
                         pend.need_acks = members.len() as u32;
                     }
                     for m in members {
-                        io.send(m, ProtoMsg::Inval { page: p, new_owner: self.me });
+                        io.send(
+                            m,
+                            ProtoMsg::Inval {
+                                page: p,
+                                new_owner: self.me,
+                            },
+                        );
                     }
                     self.copyset.insert(p, NodeSet::singleton(self.me));
                     self.defer.insert(p);
@@ -587,30 +642,41 @@ impl Protocol for Ivy {
                     self.ensure_frame(mem, page);
                     debug_assert!(self.owned.contains(&page), "FwdRead to non-owner");
                     mem.set_access(PageId(page), Access::Read);
-                    let data =
-                        mem.page_bytes(PageId(page)).unwrap().to_vec().into_boxed_slice();
+                    let data = mem
+                        .page_bytes(PageId(page))
+                        .unwrap()
+                        .to_vec()
+                        .into_boxed_slice();
                     self.send_or_local_read(io, mem, page, requester, data, events);
                 }
             },
-            ProtoMsg::FwdWrite { page, requester, ninval } => match self.scheme {
+            ProtoMsg::FwdWrite {
+                page,
+                requester,
+                ninval,
+            } => match self.scheme {
                 ManagerScheme::Dynamic => self.dyn_request(io, mem, page, requester, true),
                 _ => {
                     // Owner: ship data + ownership.
                     self.ensure_frame(mem, page);
                     debug_assert!(self.owned.contains(&page), "FwdWrite to non-owner");
-                    let data =
-                        mem.page_bytes(PageId(page)).unwrap().to_vec().into_boxed_slice();
+                    let data = mem
+                        .page_bytes(PageId(page))
+                        .unwrap()
+                        .to_vec()
+                        .into_boxed_slice();
                     mem.invalidate(PageId(page));
                     self.owned.remove(&page);
                     self.send_or_local_own(io, mem, page, requester, Some(data), ninval, events);
                 }
             },
-            ProtoMsg::PageRead { page, data } => {
-                self.recv_page_read(io, mem, page, data, events)
-            }
-            ProtoMsg::PageOwn { page, data, ninval, copyset } => {
-                self.recv_page_own(io, mem, page, data, ninval, copyset, events)
-            }
+            ProtoMsg::PageRead { page, data } => self.recv_page_read(io, mem, page, data, events),
+            ProtoMsg::PageOwn {
+                page,
+                data,
+                ninval,
+                copyset,
+            } => self.recv_page_own(io, mem, page, data, ninval, copyset, events),
             ProtoMsg::Inval { page, new_owner } => {
                 // A racing invalidation may hit while our own copy is in
                 // flight (jittery networks); poison the pending fault so
@@ -627,7 +693,10 @@ impl Protocol for Ivy {
                 io.send(new_owner, ProtoMsg::InvalAck { page });
             }
             ProtoMsg::InvalAck { page } => {
-                let pend = self.pending.as_mut().expect("InvalAck with no pending fault");
+                let pend = self
+                    .pending
+                    .as_mut()
+                    .expect("InvalAck with no pending fault");
                 assert_eq!(pend.page, page);
                 pend.acks += 1;
                 self.maybe_finish_write(mem, events);
@@ -635,7 +704,10 @@ impl Protocol for Ivy {
             ProtoMsg::Confirm { page, owner, write } => {
                 self.mgr_confirm(io, mem, page, owner, from, write, events);
             }
-            other => panic!("ivy got unexpected message {}", dsm_net::Payload::kind(&other)),
+            other => panic!(
+                "ivy got unexpected message {}",
+                dsm_net::Payload::kind(&other)
+            ),
         }
     }
 
@@ -678,8 +750,7 @@ mod tests {
 
     #[test]
     fn initial_ownership_follows_layout() {
-        let layout =
-            SpaceLayout::new(PageGeometry::new(256), 256 * 4, Placement::Cyclic, 2);
+        let layout = SpaceLayout::new(PageGeometry::new(256), 256 * 4, Placement::Cyclic, 2);
         let ivy = Ivy::new(ManagerScheme::Fixed, NodeId(0), layout);
         assert!(ivy.owned.contains(&0));
         assert!(!ivy.owned.contains(&1));
@@ -688,8 +759,7 @@ mod tests {
 
     #[test]
     fn owner_first_touch_is_local() {
-        let layout =
-            SpaceLayout::new(PageGeometry::new(256), 256 * 2, Placement::Cyclic, 2);
+        let layout = SpaceLayout::new(PageGeometry::new(256), 256 * 2, Placement::Cyclic, 2);
         let mut ivy = Ivy::new(ManagerScheme::Fixed, NodeId(0), layout);
         let mut mem = FrameTable::new(layout.geometry);
         struct NoIo;

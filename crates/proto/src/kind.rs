@@ -87,13 +87,9 @@ impl ProtocolKind {
         bindings: &[EntryBinding],
     ) -> Box<dyn Protocol> {
         match self {
-            ProtocolKind::IvyCentral => {
-                Box::new(Ivy::new(ManagerScheme::Central, me, layout))
-            }
+            ProtocolKind::IvyCentral => Box::new(Ivy::new(ManagerScheme::Central, me, layout)),
             ProtocolKind::IvyFixed => Box::new(Ivy::new(ManagerScheme::Fixed, me, layout)),
-            ProtocolKind::IvyDynamic => {
-                Box::new(Ivy::new(ManagerScheme::Dynamic, me, layout))
-            }
+            ProtocolKind::IvyDynamic => Box::new(Ivy::new(ManagerScheme::Dynamic, me, layout)),
             ProtocolKind::Migrate => Box::new(Migrate::new(me, layout)),
             ProtocolKind::Update => Box::new(Update::new(me, layout)),
             ProtocolKind::Erc => Box::new(Erc::new(me, layout)),
@@ -116,8 +112,7 @@ mod tests {
 
     #[test]
     fn every_kind_builds_and_names_match() {
-        let layout =
-            SpaceLayout::new(PageGeometry::new(256), 1024, Placement::Cyclic, 2);
+        let layout = SpaceLayout::new(PageGeometry::new(256), 1024, Placement::Cyclic, 2);
         for kind in ProtocolKind::ALL {
             let p = kind.build(NodeId(0), layout, &[]);
             assert_eq!(p.name(), kind.name());

@@ -33,5 +33,5 @@ pub use ivy::{Ivy, ManagerScheme};
 pub use kind::ProtocolKind;
 pub use lrc::Lrc;
 pub use migrate::Migrate;
-pub use msg::{Piggy, ProtoMsg};
+pub use msg::{EntryUpdateLog, Piggy, ProtoMsg};
 pub use update::Update;

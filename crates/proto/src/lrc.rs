@@ -101,7 +101,11 @@ impl Lrc {
         }
         pages.sort();
         let id = IntervalId::new(self.me, seq);
-        let rec = IntervalRecord { id, vc: self.vt.clone(), pages };
+        let rec = IntervalRecord {
+            id,
+            vc: self.vt.clone(),
+            pages,
+        };
         self.log.insert(id, rec);
     }
 
@@ -250,14 +254,12 @@ impl Lrc {
         // Idempotent: a page already twinned in this interval keeps its
         // original twin, or the earlier local writes would vanish from
         // the eventual diff.
-        if !self.twins.contains_key(&page) {
-            let data = mem
-                .page_bytes(PageId(page))
+        self.twins.entry(page).or_insert_with(|| {
+            mem.page_bytes(PageId(page))
                 .expect("twin of missing page")
                 .to_vec()
-                .into_boxed_slice();
-            self.twins.insert(page, data);
-        }
+                .into_boxed_slice()
+        });
         mem.set_access(PageId(page), Access::Write);
     }
 
@@ -381,7 +383,10 @@ impl Protocol for Lrc {
                 self.maybe_complete(mem, events);
             }
             other => {
-                panic!("lrc got unexpected message {}", dsm_net::Payload::kind(&other))
+                panic!(
+                    "lrc got unexpected message {}",
+                    dsm_net::Payload::kind(&other)
+                )
             }
         }
     }
@@ -409,15 +414,11 @@ impl Protocol for Lrc {
         reqinfo: &Piggy,
     ) -> Piggy {
         match reqinfo {
-            Piggy::LrcClock(their_vt) => {
-                Piggy::LrcIntervals(self.records_missing_for(their_vt))
-            }
+            Piggy::LrcClock(their_vt) => Piggy::LrcIntervals(self.records_missing_for(their_vt)),
             Piggy::None => {
                 // No clock available (e.g. a centralized server grant on
                 // behalf of an unknown releaser): send everything.
-                Piggy::LrcIntervals(self.records_missing_for(&VClock::new(
-                    self.nnodes as usize,
-                )))
+                Piggy::LrcIntervals(self.records_missing_for(&VClock::new(self.nnodes as usize)))
             }
             other => panic!("lrc grant with unexpected reqinfo {other:?}"),
         }
@@ -461,7 +462,10 @@ impl Protocol for Lrc {
             .cloned()
             .collect();
         records.sort_by_key(|r| r.id);
-        Piggy::LrcBarrier { vt: self.vt.clone(), records }
+        Piggy::LrcBarrier {
+            vt: self.vt.clone(),
+            records,
+        }
     }
 
     fn merge_barrier(
@@ -493,9 +497,7 @@ impl Protocol for Lrc {
                 let vt = &clocks[&node];
                 let mut recs: Vec<IntervalRecord> = pool
                     .values()
-                    .filter(|r| {
-                        r.id.node != node && r.id.seq > vt.get(r.id.node.index())
-                    })
+                    .filter(|r| r.id.node != node && r.id.seq > vt.get(r.id.node.index()))
                     .cloned()
                     .collect();
                 recs.sort_by_key(|r| r.id);
@@ -504,12 +506,7 @@ impl Protocol for Lrc {
             .collect()
     }
 
-    fn on_barrier_released(
-        &mut self,
-        _io: &mut dyn ProtoIo,
-        mem: &mut FrameTable,
-        piggy: Piggy,
-    ) {
+    fn on_barrier_released(&mut self, _io: &mut dyn ProtoIo, mem: &mut FrameTable, piggy: Piggy) {
         match piggy {
             Piggy::LrcIntervals(records) => {
                 self.ingest(mem, records);

@@ -163,7 +163,10 @@ impl Protocol for Migrate {
                 self.home_confirm(io, mem, page, holder);
             }
             other => {
-                panic!("migrate got unexpected message {}", dsm_net::Payload::kind(&other))
+                panic!(
+                    "migrate got unexpected message {}",
+                    dsm_net::Payload::kind(&other)
+                )
             }
         }
     }
@@ -174,7 +177,13 @@ impl Protocol for Migrate {
             if home == self.me {
                 self.home_confirm(io, mem, page, self.me);
             } else {
-                io.send(home, ProtoMsg::MigConfirm { page, holder: self.me });
+                io.send(
+                    home,
+                    ProtoMsg::MigConfirm {
+                        page,
+                        holder: self.me,
+                    },
+                );
             }
         }
     }
@@ -187,8 +196,7 @@ mod tests {
 
     #[test]
     fn resident_pages_never_fault() {
-        let layout =
-            SpaceLayout::new(PageGeometry::new(256), 256 * 4, Placement::Cyclic, 2);
+        let layout = SpaceLayout::new(PageGeometry::new(256), 256 * 4, Placement::Cyclic, 2);
         let mut m = Migrate::new(NodeId(1), layout);
         let mut mem = FrameTable::new(layout.geometry);
         struct NoIo;

@@ -5,7 +5,7 @@
 //! uniform across protocols.
 
 use dsm_mem::{IntervalId, IntervalRecord, NodeSet, PageDiff, VClock};
-use dsm_net::{NodeId, Payload};
+use dsm_net::{KindId, NodeId, Payload};
 use dsm_sync::SyncPiggy;
 
 /// Coherence protocol messages. Page ids travel as raw `usize`.
@@ -13,16 +13,30 @@ use dsm_sync::SyncPiggy;
 pub enum ProtoMsg {
     // ---- IVY write-invalidate (all manager schemes) ----
     /// Read fault: requester → manager (or probable-owner chain).
-    ReadReq { page: usize },
+    ReadReq {
+        page: usize,
+    },
     /// Write fault: requester → manager (or probable-owner chain).
-    WriteReq { page: usize },
+    WriteReq {
+        page: usize,
+    },
     /// Manager → owner: send a read copy to `requester`.
-    FwdRead { page: usize, requester: NodeId },
+    FwdRead {
+        page: usize,
+        requester: NodeId,
+    },
     /// Manager → owner: transfer ownership to `requester`, who must
     /// await `ninval` invalidation acks.
-    FwdWrite { page: usize, requester: NodeId, ninval: u32 },
+    FwdWrite {
+        page: usize,
+        requester: NodeId,
+        ninval: u32,
+    },
     /// Owner → requester: a read copy.
-    PageRead { page: usize, data: Box<[u8]> },
+    PageRead {
+        page: usize,
+        data: Box<[u8]>,
+    },
     /// Owner → requester: ownership (+ data unless the requester
     /// already holds a copy; + copyset under the dynamic scheme).
     PageOwn {
@@ -32,61 +46,123 @@ pub enum ProtoMsg {
         copyset: Option<NodeSet>,
     },
     /// Invalidate your copy; `new_owner` is the probable-owner hint.
-    Inval { page: usize, new_owner: NodeId },
+    Inval {
+        page: usize,
+        new_owner: NodeId,
+    },
     /// Copy invalidated (sent to the new owner / requester).
-    InvalAck { page: usize },
+    InvalAck {
+        page: usize,
+    },
     /// Requester → manager: transaction complete; `owner` is the
     /// resulting owner, `write` tells the manager how to update the
     /// copyset.
-    Confirm { page: usize, owner: NodeId, write: bool },
+    Confirm {
+        page: usize,
+        owner: NodeId,
+        write: bool,
+    },
 
     // ---- page migration (single copy) ----
-    MigReq { page: usize },
-    MigFwd { page: usize, requester: NodeId },
-    MigPage { page: usize, data: Box<[u8]> },
-    MigConfirm { page: usize, holder: NodeId },
+    MigReq {
+        page: usize,
+    },
+    MigFwd {
+        page: usize,
+        requester: NodeId,
+    },
+    MigPage {
+        page: usize,
+        data: Box<[u8]>,
+    },
+    MigConfirm {
+        page: usize,
+        holder: NodeId,
+    },
 
     // ---- write-update (home-sequenced) ----
     /// Writer → home: apply and multicast this write.
-    UpdWrite { page: usize, off: u32, data: Box<[u8]> },
+    UpdWrite {
+        page: usize,
+        off: u32,
+        data: Box<[u8]>,
+    },
     /// Home → copy holder: apply this write (per-page sequenced).
-    UpdApply { page: usize, off: u32, data: Box<[u8]>, seq: u64 },
+    UpdApply {
+        page: usize,
+        off: u32,
+        data: Box<[u8]>,
+        seq: u64,
+    },
     /// Home → writer: your write is globally ordered.
-    UpdAck { page: usize },
+    UpdAck {
+        page: usize,
+    },
     /// Read miss: requester → home.
-    FetchReq { page: usize },
+    FetchReq {
+        page: usize,
+    },
     /// Home → requester: current master copy. `seq` is the page's
     /// current update sequence number (write-update protocol), letting
     /// the new copy holder verify the per-page update stream stays
     /// gapless from here on.
-    FetchRep { page: usize, data: Box<[u8]>, seq: u64 },
+    FetchRep {
+        page: usize,
+        data: Box<[u8]>,
+        seq: u64,
+    },
 
     // ---- eager release consistency (Munin write-shared) ----
     /// Writer → home: diffs for pages homed there (one flush id per
     /// release).
-    DiffFlush { flush: u64, diffs: Vec<(usize, PageDiff)> },
+    DiffFlush {
+        flush: u64,
+        diffs: Vec<(usize, PageDiff)>,
+    },
     /// Home → copy holder: apply these diffs.
-    DiffApply { flush: u64, home: NodeId, diffs: Vec<(usize, PageDiff)> },
+    DiffApply {
+        flush: u64,
+        home: NodeId,
+        diffs: Vec<(usize, PageDiff)>,
+    },
     /// Copy holder → home: diffs applied.
-    DiffApplyAck { flush: u64 },
+    DiffApplyAck {
+        flush: u64,
+    },
     /// Home → writer: all copies updated for your flush.
-    FlushAck { flush: u64 },
+    FlushAck {
+        flush: u64,
+    },
 
     // ---- lazy release consistency (TreadMarks) ----
     /// Fetch the diffs of the given intervals for `page` from their
     /// creator.
-    LrcDiffReq { page: usize, ids: Vec<IntervalId> },
-    LrcDiffRep { page: usize, diffs: Vec<(IntervalId, PageDiff)> },
+    LrcDiffReq {
+        page: usize,
+        ids: Vec<IntervalId>,
+    },
+    LrcDiffRep {
+        page: usize,
+        diffs: Vec<(IntervalId, PageDiff)>,
+    },
     /// Fetch a full current copy (first access / no base copy).
-    LrcPageReq { page: usize },
-    LrcPageRep { page: usize, data: Box<[u8]> },
+    LrcPageReq {
+        page: usize,
+    },
+    LrcPageRep {
+        page: usize,
+        data: Box<[u8]>,
+    },
 }
 
 impl Payload for ProtoMsg {
     fn wire_bytes(&self) -> usize {
         use ProtoMsg::*;
         match self {
-            ReadReq { .. } | WriteReq { .. } | MigReq { .. } | FetchReq { .. }
+            ReadReq { .. }
+            | WriteReq { .. }
+            | MigReq { .. }
+            | FetchReq { .. }
             | LrcPageReq { .. } => 8,
             FwdRead { .. } | MigFwd { .. } => 12,
             FwdWrite { .. } => 16,
@@ -145,7 +221,44 @@ impl Payload for ProtoMsg {
             LrcPageRep { .. } => "LrcPageRep",
         }
     }
+
+    fn kind_id(&self) -> KindId {
+        use ProtoMsg::*;
+        KindId(match self {
+            ReadReq { .. } => 0,
+            WriteReq { .. } => 1,
+            FwdRead { .. } => 2,
+            FwdWrite { .. } => 3,
+            PageRead { .. } => 4,
+            PageOwn { .. } => 5,
+            Inval { .. } => 6,
+            InvalAck { .. } => 7,
+            Confirm { .. } => 8,
+            MigReq { .. } => 9,
+            MigFwd { .. } => 10,
+            MigPage { .. } => 11,
+            MigConfirm { .. } => 12,
+            UpdWrite { .. } => 13,
+            UpdApply { .. } => 14,
+            UpdAck { .. } => 15,
+            FetchReq { .. } => 16,
+            FetchRep { .. } => 17,
+            DiffFlush { .. } => 18,
+            DiffApply { .. } => 19,
+            DiffApplyAck { .. } => 20,
+            FlushAck { .. } => 21,
+            LrcDiffReq { .. } => 22,
+            LrcDiffRep { .. } => 23,
+            LrcPageReq { .. } => 24,
+            LrcPageRep { .. } => 25,
+        })
+    }
 }
+
+/// Entry-consistency per-lock update log: `(version, changes)`
+/// entries, each change a guarded-region index plus a byte-run diff
+/// relative to the region start.
+pub type EntryUpdateLog = Vec<(u64, Vec<(u32, PageDiff)>)>;
 
 /// Consistency payload piggybacked on synchronization messages.
 #[derive(Debug)]
@@ -161,7 +274,10 @@ pub enum Piggy {
     /// LRC barrier arrival: the arriver's vector clock plus every
     /// interval record it has authored (the root computes each node's
     /// missing set from these).
-    LrcBarrier { vt: VClock, records: Vec<IntervalRecord> },
+    LrcBarrier {
+        vt: VClock,
+        records: Vec<IntervalRecord>,
+    },
     /// Entry-consistency lock request info: the highest update version
     /// the acquirer has applied for this lock's regions.
     EntryVer(u64),
@@ -169,21 +285,21 @@ pub enum Piggy {
     /// the acquirer is missing. Each entry is (version, changes), each
     /// change a region index + byte-run diff relative to the region
     /// start — only dirty data travels, as in Midway.
-    EntryLog(Vec<(u64, Vec<(u32, PageDiff)>)>),
+    EntryLog(EntryUpdateLog),
     /// Entry-consistency barrier arrival: page diffs of everything this
     /// node wrote (outside guarded regions) since the last barrier,
     /// plus, per lock, its current version and the log entries created
     /// since the last barrier — barriers synchronize guarded data too.
     EntryArrive {
         diffs: Vec<(usize, PageDiff)>,
-        locks: Vec<(u32, u64, Vec<(u64, Vec<(u32, PageDiff)>)>)>,
+        locks: Vec<(u32, u64, EntryUpdateLog)>,
     },
     /// Entry-consistency barrier release: merged images of every page
     /// dirtied across the barrier, plus per-lock log entries the
     /// receiver is missing.
     EntryRelease {
         pages: Vec<(usize, Box<[u8]>)>,
-        locks: Vec<(u32, Vec<(u64, Vec<(u32, PageDiff)>)>)>,
+        locks: Vec<(u32, EntryUpdateLog)>,
     },
 }
 
@@ -196,18 +312,18 @@ impl SyncPiggy for Piggy {
         match self {
             Piggy::None => 0,
             Piggy::LrcClock(vc) => vc.wire_bytes(),
-            Piggy::LrcIntervals(recs) => {
-                recs.iter().map(|r| r.wire_bytes()).sum::<usize>()
-            }
+            Piggy::LrcIntervals(recs) => recs.iter().map(|r| r.wire_bytes()).sum::<usize>(),
             Piggy::LrcBarrier { vt, records } => {
-                vt.wire_bytes()
-                    + records.iter().map(|r| r.wire_bytes()).sum::<usize>()
+                vt.wire_bytes() + records.iter().map(|r| r.wire_bytes()).sum::<usize>()
             }
             Piggy::EntryVer(_) => 8,
             Piggy::EntryLog(entries) => entries
                 .iter()
                 .map(|(_, changes)| {
-                    12 + changes.iter().map(|(_, d)| 8 + d.wire_bytes()).sum::<usize>()
+                    12 + changes
+                        .iter()
+                        .map(|(_, d)| 8 + d.wire_bytes())
+                        .sum::<usize>()
                 })
                 .sum::<usize>(),
             Piggy::EntryArrive { diffs, locks } => {
@@ -218,10 +334,7 @@ impl SyncPiggy for Piggy {
                             16 + es
                                 .iter()
                                 .map(|(_, ch)| {
-                                    12 + ch
-                                        .iter()
-                                        .map(|(_, d)| 8 + d.wire_bytes())
-                                        .sum::<usize>()
+                                    12 + ch.iter().map(|(_, d)| 8 + d.wire_bytes()).sum::<usize>()
                                 })
                                 .sum::<usize>()
                         })
@@ -235,10 +348,7 @@ impl SyncPiggy for Piggy {
                             8 + es
                                 .iter()
                                 .map(|(_, ch)| {
-                                    12 + ch
-                                        .iter()
-                                        .map(|(_, d)| 8 + d.wire_bytes())
-                                        .sum::<usize>()
+                                    12 + ch.iter().map(|(_, d)| 8 + d.wire_bytes()).sum::<usize>()
                                 })
                                 .sum::<usize>()
                         })
@@ -254,7 +364,10 @@ mod tests {
 
     #[test]
     fn page_messages_cost_their_payload() {
-        let m = ProtoMsg::PageRead { page: 1, data: vec![0u8; 4096].into_boxed_slice() };
+        let m = ProtoMsg::PageRead {
+            page: 1,
+            data: vec![0u8; 4096].into_boxed_slice(),
+        };
         assert_eq!(m.wire_bytes(), 8 + 4096);
         assert_eq!(m.kind(), "PageRead");
     }
@@ -281,7 +394,10 @@ mod tests {
         cur[0] = 1;
         let d = PageDiff::create(&twin, &cur);
         let wire = d.wire_bytes();
-        let m = ProtoMsg::DiffFlush { flush: 1, diffs: vec![(0, d)] };
+        let m = ProtoMsg::DiffFlush {
+            flush: 1,
+            diffs: vec![(0, d)],
+        };
         assert_eq!(m.wire_bytes(), 8 + 8 + wire);
     }
 }

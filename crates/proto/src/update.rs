@@ -165,7 +165,12 @@ impl Protocol for Update {
                 self.master_write(io, mem, page, off as usize, &data);
                 io.send(from, ProtoMsg::UpdAck { page });
             }
-            ProtoMsg::UpdApply { page, off, data, seq } => {
+            ProtoMsg::UpdApply {
+                page,
+                off,
+                data,
+                seq,
+            } => {
                 let last = self.last_seen.get(&page).copied().unwrap_or(0);
                 assert_eq!(
                     seq,
@@ -208,7 +213,10 @@ impl Protocol for Update {
                 events.push(ProtoEvent::PageReady(PageId(page)));
             }
             other => {
-                panic!("update got unexpected message {}", dsm_net::Payload::kind(&other))
+                panic!(
+                    "update got unexpected message {}",
+                    dsm_net::Payload::kind(&other)
+                )
             }
         }
     }

@@ -4,7 +4,7 @@
 
 use dsm_mem::{Access, FrameTable, PageGeometry, Placement, SpaceLayout};
 use dsm_net::{CostModel, NodeId};
-use dsm_proto::{ProtoEvent, ProtoIo, Protocol, ProtoMsg, ProtocolKind, Update};
+use dsm_proto::{ProtoEvent, ProtoIo, ProtoMsg, Protocol, ProtocolKind, Update};
 
 /// Captures sends.
 struct FakeIo {
@@ -61,7 +61,11 @@ fn update_detects_reordered_stream() {
         &mut io,
         &mut mem,
         NodeId(0),
-        ProtoMsg::FetchRep { page: 0, data: vec![0u8; 256].into_boxed_slice(), seq: 0 },
+        ProtoMsg::FetchRep {
+            page: 0,
+            data: vec![0u8; 256].into_boxed_slice(),
+            seq: 0,
+        },
         &mut events,
     );
     u.on_message(
@@ -93,7 +97,11 @@ fn update_fetch_grants_read_only() {
         &mut io,
         &mut mem,
         NodeId(0),
-        ProtoMsg::FetchRep { page: 0, data: vec![7u8; 256].into_boxed_slice(), seq: 4 },
+        ProtoMsg::FetchRep {
+            page: 0,
+            data: vec![7u8; 256].into_boxed_slice(),
+            seq: 4,
+        },
         &mut events,
     );
     assert_eq!(events, vec![ProtoEvent::PageReady(dsm_mem::PageId(0))]);

@@ -24,7 +24,10 @@ pub enum BarrierKind {
 pub enum BarrierEvent<P> {
     /// Root only: everyone has arrived. Merge the contributions and
     /// call [`BarrierEngine::release`] with one payload per node.
-    AllArrived { id: BarrierId, contributions: Vec<(NodeId, P)> },
+    AllArrived {
+        id: BarrierId,
+        contributions: Vec<(NodeId, P)>,
+    },
     /// This node has been released from the barrier with `piggy`.
     Released { id: BarrierId, piggy: P },
 }
@@ -40,7 +43,10 @@ struct PerBarrier<P> {
 
 impl<P> Default for PerBarrier<P> {
     fn default() -> Self {
-        PerBarrier { gathered: Vec::new(), arrived_self: false }
+        PerBarrier {
+            gathered: Vec::new(),
+            arrived_self: false,
+        }
     }
 }
 
@@ -58,7 +64,12 @@ impl<P: SyncPiggy> BarrierEngine<P> {
         if let BarrierKind::Tree(k) = kind {
             assert!(k >= 2, "tree arity must be >= 2");
         }
-        BarrierEngine { kind, me, nnodes, state: HashMap::new() }
+        BarrierEngine {
+            kind,
+            me,
+            nnodes,
+            state: HashMap::new(),
+        }
     }
 
     pub fn kind(&self) -> BarrierKind {
@@ -147,7 +158,13 @@ impl<P: SyncPiggy> BarrierEngine<P> {
             let (for_child, rest): (Vec<_>, Vec<_>) =
                 releases.into_iter().partition(|(n, _)| members.contains(n));
             releases = rest;
-            io.send(child, SyncMsg::BarRelease { id, releases: for_child });
+            io.send(
+                child,
+                SyncMsg::BarRelease {
+                    id,
+                    releases: for_child,
+                },
+            );
         }
         debug_assert_eq!(releases.len(), 1);
         let (n, piggy) = releases.pop().unwrap();
@@ -184,7 +201,13 @@ impl<P: SyncPiggy> BarrierEngine<P> {
                         releases.into_iter().partition(|(n, _)| members.contains(n));
                     releases = rest;
                     if !for_child.is_empty() {
-                        io.send(child, SyncMsg::BarRelease { id, releases: for_child });
+                        io.send(
+                            child,
+                            SyncMsg::BarRelease {
+                                id,
+                                releases: for_child,
+                            },
+                        );
                     }
                 }
                 debug_assert!(releases.is_empty(), "stray releases");
@@ -264,13 +287,33 @@ mod tests {
     #[test]
     fn central_root_collects_then_all_arrived() {
         let mut e = BarrierEngine::<()>::new(BarrierKind::Central, NodeId(0), 3);
-        let mut io = FakeIo { me: NodeId(0), n: 3, sent: Vec::new() };
+        let mut io = FakeIo {
+            me: NodeId(0),
+            n: 3,
+            sent: Vec::new(),
+        };
         let mut ev = Vec::new();
         e.arrive(&mut io, 0, (), &mut ev);
         assert!(ev.is_empty());
-        e.on_message(&mut io, NodeId(1), SyncMsg::BarArrive { id: 0, contributions: vec![(NodeId(1), ())] }, &mut ev);
+        e.on_message(
+            &mut io,
+            NodeId(1),
+            SyncMsg::BarArrive {
+                id: 0,
+                contributions: vec![(NodeId(1), ())],
+            },
+            &mut ev,
+        );
         assert!(ev.is_empty());
-        e.on_message(&mut io, NodeId(2), SyncMsg::BarArrive { id: 0, contributions: vec![(NodeId(2), ())] }, &mut ev);
+        e.on_message(
+            &mut io,
+            NodeId(2),
+            SyncMsg::BarArrive {
+                id: 0,
+                contributions: vec![(NodeId(2), ())],
+            },
+            &mut ev,
+        );
         match &ev[0] {
             BarrierEvent::AllArrived { contributions, .. } => {
                 assert_eq!(contributions.len(), 3)
@@ -288,12 +331,24 @@ mod tests {
     #[test]
     fn central_leaf_sends_arrival_and_gets_release() {
         let mut e = BarrierEngine::<()>::new(BarrierKind::Central, NodeId(2), 3);
-        let mut io = FakeIo { me: NodeId(2), n: 3, sent: Vec::new() };
+        let mut io = FakeIo {
+            me: NodeId(2),
+            n: 3,
+            sent: Vec::new(),
+        };
         let mut ev = Vec::new();
         e.arrive(&mut io, 7, (), &mut ev);
         assert_eq!(io.sent.len(), 1);
         assert_eq!(io.sent[0].0, NodeId(0));
-        e.on_message(&mut io, NodeId(0), SyncMsg::BarRelease { id: 7, releases: vec![(NodeId(2), ())] }, &mut ev);
+        e.on_message(
+            &mut io,
+            NodeId(0),
+            SyncMsg::BarRelease {
+                id: 7,
+                releases: vec![(NodeId(2), ())],
+            },
+            &mut ev,
+        );
         assert!(matches!(ev[0], BarrierEvent::Released { id: 7, .. }));
     }
 
@@ -313,13 +368,33 @@ mod tests {
     fn tree_interior_combines_subtree_before_forwarding() {
         // Node 1 in a 7-node binary tree: children 3 and 4.
         let mut e = BarrierEngine::<()>::new(BarrierKind::Tree(2), NodeId(1), 7);
-        let mut io = FakeIo { me: NodeId(1), n: 7, sent: Vec::new() };
+        let mut io = FakeIo {
+            me: NodeId(1),
+            n: 7,
+            sent: Vec::new(),
+        };
         let mut ev = Vec::new();
-        e.on_message(&mut io, NodeId(3), SyncMsg::BarArrive { id: 0, contributions: vec![(NodeId(3), ())] }, &mut ev);
+        e.on_message(
+            &mut io,
+            NodeId(3),
+            SyncMsg::BarArrive {
+                id: 0,
+                contributions: vec![(NodeId(3), ())],
+            },
+            &mut ev,
+        );
         assert!(io.sent.is_empty()); // own arrival and child 4 missing
         e.arrive(&mut io, 0, (), &mut ev);
         assert!(io.sent.is_empty()); // child 4 still missing
-        e.on_message(&mut io, NodeId(4), SyncMsg::BarArrive { id: 0, contributions: vec![(NodeId(4), ())] }, &mut ev);
+        e.on_message(
+            &mut io,
+            NodeId(4),
+            SyncMsg::BarArrive {
+                id: 0,
+                contributions: vec![(NodeId(4), ())],
+            },
+            &mut ev,
+        );
         assert_eq!(io.sent.len(), 1);
         assert_eq!(io.sent[0].0, NodeId(0)); // combined arrival to root
         match &io.sent[0].1 {
@@ -331,11 +406,19 @@ mod tests {
     #[test]
     fn tree_release_routes_payloads_down() {
         let mut e = BarrierEngine::<()>::new(BarrierKind::Tree(2), NodeId(1), 7);
-        let mut io = FakeIo { me: NodeId(1), n: 7, sent: Vec::new() };
+        let mut io = FakeIo {
+            me: NodeId(1),
+            n: 7,
+            sent: Vec::new(),
+        };
         let mut ev = Vec::new();
-        let releases =
-            vec![(NodeId(1), ()), (NodeId(3), ()), (NodeId(4), ())];
-        e.on_message(&mut io, NodeId(0), SyncMsg::BarRelease { id: 0, releases }, &mut ev);
+        let releases = vec![(NodeId(1), ()), (NodeId(3), ()), (NodeId(4), ())];
+        e.on_message(
+            &mut io,
+            NodeId(0),
+            SyncMsg::BarRelease { id: 0, releases },
+            &mut ev,
+        );
         assert!(matches!(ev[0], BarrierEvent::Released { .. }));
         assert_eq!(io.sent.len(), 2);
         let dsts: Vec<NodeId> = io.sent.iter().map(|(d, _)| *d).collect();
@@ -346,7 +429,11 @@ mod tests {
     #[should_panic(expected = "arrived twice")]
     fn double_arrival_panics() {
         let mut e = BarrierEngine::<()>::new(BarrierKind::Central, NodeId(1), 3);
-        let mut io = FakeIo { me: NodeId(1), n: 3, sent: Vec::new() };
+        let mut io = FakeIo {
+            me: NodeId(1),
+            n: 3,
+            sent: Vec::new(),
+        };
         let mut ev = Vec::new();
         e.arrive(&mut io, 0, (), &mut ev);
         e.arrive(&mut io, 0, (), &mut ev);

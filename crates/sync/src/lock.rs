@@ -42,7 +42,11 @@ pub enum LockEvent<P> {
     Acquired { lock: LockId, piggy: P },
     /// This node must grant `lock` to `to`: compute a piggyback (using
     /// `reqinfo` from the requester) and call [`LockEngine::grant`].
-    GrantNeeded { lock: LockId, to: NodeId, reqinfo: P },
+    GrantNeeded {
+        lock: LockId,
+        to: NodeId,
+        reqinfo: P,
+    },
 }
 
 /// What a release requires of the caller.
@@ -107,7 +111,12 @@ pub struct LockEngine<P> {
 
 impl<P: SyncPiggy> LockEngine<P> {
     pub fn new(kind: LockKind, me: NodeId, nnodes: u32) -> Self {
-        LockEngine { kind, locks: HashMap::new(), me, nnodes }
+        LockEngine {
+            kind,
+            locks: HashMap::new(),
+            me,
+            nnodes,
+        }
     }
 
     pub fn kind(&self) -> LockKind {
@@ -121,11 +130,10 @@ impl<P: SyncPiggy> LockEngine<P> {
     fn state(&mut self, lock: LockId) -> &mut PerLock<P> {
         let home = self.home(lock);
         let me = self.me;
-        self.locks.entry(lock).or_insert_with(|| {
-            let mut s = PerLock::default();
+        self.locks.entry(lock).or_insert_with(|| PerLock {
             // The free token starts parked at the lock's home.
-            s.token_here = me == home;
-            s
+            token_here: me == home,
+            ..PerLock::default()
         })
     }
 
@@ -133,12 +141,7 @@ impl<P: SyncPiggy> LockEngine<P> {
     /// obtained immediately (free token parked locally); otherwise the
     /// engine has sent a request and will later emit
     /// [`LockEvent::Acquired`].
-    pub fn acquire(
-        &mut self,
-        io: &mut dyn SyncIo<P>,
-        lock: LockId,
-        reqinfo: P,
-    ) -> Option<P> {
+    pub fn acquire(&mut self, io: &mut dyn SyncIo<P>, lock: LockId, reqinfo: P) -> Option<P> {
         let home = self.home(lock);
         let me = self.me;
         let kind = self.kind;
@@ -158,7 +161,14 @@ impl<P: SyncPiggy> LockEngine<P> {
                     None
                 } else {
                     s.waiting = true;
-                    io.send(home, SyncMsg::LockReq { lock, requester: me, reqinfo });
+                    io.send(
+                        home,
+                        SyncMsg::LockReq {
+                            lock,
+                            requester: me,
+                            reqinfo,
+                        },
+                    );
                     None
                 }
             }
@@ -181,7 +191,14 @@ impl<P: SyncPiggy> LockEngine<P> {
                         Some(t) => {
                             s.waiting = true;
                             s.tail = Some(me);
-                            io.send(t, SyncMsg::LockFwd { lock, requester: me, reqinfo });
+                            io.send(
+                                t,
+                                SyncMsg::LockFwd {
+                                    lock,
+                                    requester: me,
+                                    reqinfo,
+                                },
+                            );
                             None
                         }
                     }
@@ -195,7 +212,14 @@ impl<P: SyncPiggy> LockEngine<P> {
                     Some(P::empty())
                 } else {
                     s.waiting = true;
-                    io.send(home, SyncMsg::LockReq { lock, requester: me, reqinfo });
+                    io.send(
+                        home,
+                        SyncMsg::LockReq {
+                            lock,
+                            requester: me,
+                            reqinfo,
+                        },
+                    );
                     None
                 }
             }
@@ -220,7 +244,10 @@ impl<P: SyncPiggy> LockEngine<P> {
                     s.held_by = None;
                     if let Some(next) = s.queue.pop_front() {
                         s.held_by = Some(next);
-                        return ReleaseAction::GrantTo { to: next, reqinfo: P::empty() };
+                        return ReleaseAction::GrantTo {
+                            to: next,
+                            reqinfo: P::empty(),
+                        };
                     }
                     ReleaseAction::Local
                 } else {
@@ -261,7 +288,12 @@ impl<P: SyncPiggy> LockEngine<P> {
     ) {
         let me = self.me;
         match (self.kind, msg) {
-            (LockKind::Central, SyncMsg::LockReq { lock, requester, .. }) => {
+            (
+                LockKind::Central,
+                SyncMsg::LockReq {
+                    lock, requester, ..
+                },
+            ) => {
                 let s = self.state(lock);
                 if s.held_by.is_none() && s.queue.is_empty() {
                     s.held_by = Some(requester);
@@ -289,14 +321,25 @@ impl<P: SyncPiggy> LockEngine<P> {
                     }
                 }
             }
-            (LockKind::Queue, SyncMsg::LockReq { lock, requester, reqinfo }) => {
+            (
+                LockKind::Queue,
+                SyncMsg::LockReq {
+                    lock,
+                    requester,
+                    reqinfo,
+                },
+            ) => {
                 // Only the home receives LockReq in queue mode.
                 let s = self.state(lock);
                 match s.tail.replace(requester) {
                     None => {
                         debug_assert!(s.token_here);
                         s.token_here = false;
-                        events.push(LockEvent::GrantNeeded { lock, to: requester, reqinfo });
+                        events.push(LockEvent::GrantNeeded {
+                            lock,
+                            to: requester,
+                            reqinfo,
+                        });
                     }
                     Some(t) if t == me => {
                         // Home is the tail: either holding, waiting, or
@@ -318,15 +361,33 @@ impl<P: SyncPiggy> LockEngine<P> {
                         }
                     }
                     Some(t) => {
-                        io.send(t, SyncMsg::LockFwd { lock, requester, reqinfo });
+                        io.send(
+                            t,
+                            SyncMsg::LockFwd {
+                                lock,
+                                requester,
+                                reqinfo,
+                            },
+                        );
                     }
                 }
             }
-            (LockKind::Queue, SyncMsg::LockFwd { lock, requester, reqinfo }) => {
+            (
+                LockKind::Queue,
+                SyncMsg::LockFwd {
+                    lock,
+                    requester,
+                    reqinfo,
+                },
+            ) => {
                 let s = self.state(lock);
                 if s.token_here {
                     s.token_here = false;
-                    events.push(LockEvent::GrantNeeded { lock, to: requester, reqinfo });
+                    events.push(LockEvent::GrantNeeded {
+                        lock,
+                        to: requester,
+                        reqinfo,
+                    });
                 } else {
                     debug_assert!(
                         s.holding || s.waiting,
@@ -344,7 +405,10 @@ impl<P: SyncPiggy> LockEngine<P> {
                 events.push(LockEvent::Acquired { lock, piggy });
             }
             (kind, other) => {
-                panic!("lock engine ({kind:?}) got unexpected message {}", payload_kind(&other));
+                panic!(
+                    "lock engine ({kind:?}) got unexpected message {}",
+                    payload_kind(&other)
+                );
             }
         }
     }
@@ -382,7 +446,11 @@ mod tests {
         }
     }
     fn io(me: u32) -> FakeIo {
-        FakeIo { me: NodeId(me), n: 4, sent: Vec::new() }
+        FakeIo {
+            me: NodeId(me),
+            n: 4,
+            sent: Vec::new(),
+        }
     }
 
     #[test]
@@ -406,7 +474,12 @@ mod tests {
         assert_eq!(fio.sent[0].0, NodeId(0));
         // Grant arrives.
         let mut events = Vec::new();
-        e.on_message(&mut fio, NodeId(0), SyncMsg::LockGrant { lock: 0, piggy: () }, &mut events);
+        e.on_message(
+            &mut fio,
+            NodeId(0),
+            SyncMsg::LockGrant { lock: 0, piggy: () },
+            &mut events,
+        );
         assert!(matches!(events[0], LockEvent::Acquired { lock: 0, .. }));
         assert!(e.holds(0));
         assert!(matches!(e.release(0), ReleaseAction::ToServer));
@@ -418,12 +491,49 @@ mod tests {
         let mut fio = io(0);
         let mut ev = Vec::new();
         // Node 1 gets it, nodes 2 and 3 queue.
-        e.on_message(&mut fio, NodeId(1), SyncMsg::LockReq { lock: 0, requester: NodeId(1), reqinfo: () }, &mut ev);
-        e.on_message(&mut fio, NodeId(2), SyncMsg::LockReq { lock: 0, requester: NodeId(2), reqinfo: () }, &mut ev);
-        e.on_message(&mut fio, NodeId(3), SyncMsg::LockReq { lock: 0, requester: NodeId(3), reqinfo: () }, &mut ev);
+        e.on_message(
+            &mut fio,
+            NodeId(1),
+            SyncMsg::LockReq {
+                lock: 0,
+                requester: NodeId(1),
+                reqinfo: (),
+            },
+            &mut ev,
+        );
+        e.on_message(
+            &mut fio,
+            NodeId(2),
+            SyncMsg::LockReq {
+                lock: 0,
+                requester: NodeId(2),
+                reqinfo: (),
+            },
+            &mut ev,
+        );
+        e.on_message(
+            &mut fio,
+            NodeId(3),
+            SyncMsg::LockReq {
+                lock: 0,
+                requester: NodeId(3),
+                reqinfo: (),
+            },
+            &mut ev,
+        );
         assert_eq!(fio.sent.len(), 1); // only the first grant went out
-        e.on_message(&mut fio, NodeId(1), SyncMsg::LockRel { lock: 0, piggy: () }, &mut ev);
-        e.on_message(&mut fio, NodeId(2), SyncMsg::LockRel { lock: 0, piggy: () }, &mut ev);
+        e.on_message(
+            &mut fio,
+            NodeId(1),
+            SyncMsg::LockRel { lock: 0, piggy: () },
+            &mut ev,
+        );
+        e.on_message(
+            &mut fio,
+            NodeId(2),
+            SyncMsg::LockRel { lock: 0, piggy: () },
+            &mut ev,
+        );
         let grants: Vec<NodeId> = fio
             .sent
             .iter()
@@ -440,16 +550,47 @@ mod tests {
         let mut fio = io(0);
         let mut ev = Vec::new();
         // Node 1 requests: token is parked at home → GrantNeeded.
-        e.on_message(&mut fio, NodeId(1), SyncMsg::LockReq { lock: 0, requester: NodeId(1), reqinfo: () }, &mut ev);
-        assert!(matches!(ev[0], LockEvent::GrantNeeded { lock: 0, to: NodeId(1), .. }));
+        e.on_message(
+            &mut fio,
+            NodeId(1),
+            SyncMsg::LockReq {
+                lock: 0,
+                requester: NodeId(1),
+                reqinfo: (),
+            },
+            &mut ev,
+        );
+        assert!(matches!(
+            ev[0],
+            LockEvent::GrantNeeded {
+                lock: 0,
+                to: NodeId(1),
+                ..
+            }
+        ));
         e.grant(&mut fio, 0, NodeId(1), ());
         // Node 2 requests: forwarded to tail (node 1), not granted.
         ev.clear();
-        e.on_message(&mut fio, NodeId(2), SyncMsg::LockReq { lock: 0, requester: NodeId(2), reqinfo: () }, &mut ev);
+        e.on_message(
+            &mut fio,
+            NodeId(2),
+            SyncMsg::LockReq {
+                lock: 0,
+                requester: NodeId(2),
+                reqinfo: (),
+            },
+            &mut ev,
+        );
         assert!(ev.is_empty());
         let fwd = fio.sent.last().unwrap();
         assert_eq!(fwd.0, NodeId(1));
-        assert!(matches!(fwd.1, SyncMsg::LockFwd { requester: NodeId(2), .. }));
+        assert!(matches!(
+            fwd.1,
+            SyncMsg::LockFwd {
+                requester: NodeId(2),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -459,9 +600,23 @@ mod tests {
         let mut fio = io(1);
         let mut ev = Vec::new();
         e.acquire(&mut fio, 0, ()); // sends LockReq to home
-        e.on_message(&mut fio, NodeId(0), SyncMsg::LockGrant { lock: 0, piggy: () }, &mut ev);
+        e.on_message(
+            &mut fio,
+            NodeId(0),
+            SyncMsg::LockGrant { lock: 0, piggy: () },
+            &mut ev,
+        );
         assert!(e.holds(0));
-        e.on_message(&mut fio, NodeId(0), SyncMsg::LockFwd { lock: 0, requester: NodeId(2), reqinfo: () }, &mut ev);
+        e.on_message(
+            &mut fio,
+            NodeId(0),
+            SyncMsg::LockFwd {
+                lock: 0,
+                requester: NodeId(2),
+                reqinfo: (),
+            },
+            &mut ev,
+        );
         match e.release(0) {
             ReleaseAction::GrantTo { to, .. } => assert_eq!(to, NodeId(2)),
             other => panic!("expected GrantTo, got {other:?}"),
@@ -474,12 +629,29 @@ mod tests {
         let mut fio = io(1);
         let mut ev = Vec::new();
         e.acquire(&mut fio, 0, ());
-        e.on_message(&mut fio, NodeId(0), SyncMsg::LockGrant { lock: 0, piggy: () }, &mut ev);
+        e.on_message(
+            &mut fio,
+            NodeId(0),
+            SyncMsg::LockGrant { lock: 0, piggy: () },
+            &mut ev,
+        );
         assert!(matches!(e.release(0), ReleaseAction::Local));
         // A later forward finds the parked token and grants immediately.
         ev.clear();
-        e.on_message(&mut fio, NodeId(0), SyncMsg::LockFwd { lock: 0, requester: NodeId(3), reqinfo: () }, &mut ev);
-        assert!(matches!(ev[0], LockEvent::GrantNeeded { to: NodeId(3), .. }));
+        e.on_message(
+            &mut fio,
+            NodeId(0),
+            SyncMsg::LockFwd {
+                lock: 0,
+                requester: NodeId(3),
+                reqinfo: (),
+            },
+            &mut ev,
+        );
+        assert!(matches!(
+            ev[0],
+            LockEvent::GrantNeeded { to: NodeId(3), .. }
+        ));
     }
 
     #[test]
@@ -490,10 +662,24 @@ mod tests {
         let mut fio = io(2);
         let mut ev = Vec::new();
         e.acquire(&mut fio, 0, ());
-        e.on_message(&mut fio, NodeId(0), SyncMsg::LockFwd { lock: 0, requester: NodeId(3), reqinfo: () }, &mut ev);
+        e.on_message(
+            &mut fio,
+            NodeId(0),
+            SyncMsg::LockFwd {
+                lock: 0,
+                requester: NodeId(3),
+                reqinfo: (),
+            },
+            &mut ev,
+        );
         assert!(ev.is_empty());
         // Grant arrives; on release node 3 gets it.
-        e.on_message(&mut fio, NodeId(0), SyncMsg::LockGrant { lock: 0, piggy: () }, &mut ev);
+        e.on_message(
+            &mut fio,
+            NodeId(0),
+            SyncMsg::LockGrant { lock: 0, piggy: () },
+            &mut ev,
+        );
         match e.release(0) {
             ReleaseAction::GrantTo { to, .. } => assert_eq!(to, NodeId(3)),
             other => panic!("expected GrantTo, got {other:?}"),
@@ -522,14 +708,31 @@ mod tests {
         let mut fio = io(1);
         let mut ev = Vec::new();
         e.acquire(&mut fio, 0, ());
-        e.on_message(&mut fio, NodeId(0), SyncMsg::LockGrant { lock: 0, piggy: () }, &mut ev);
+        e.on_message(
+            &mut fio,
+            NodeId(0),
+            SyncMsg::LockGrant { lock: 0, piggy: () },
+            &mut ev,
+        );
         assert!(matches!(e.release(0), ReleaseAction::Local));
         let sent_before = fio.sent.len();
-        assert!(e.acquire(&mut fio, 0, ()).is_some(), "parked token must be taken");
+        assert!(
+            e.acquire(&mut fio, 0, ()).is_some(),
+            "parked token must be taken"
+        );
         assert_eq!(fio.sent.len(), sent_before, "no message needed");
         assert!(e.holds(0));
         // And a forward arriving while we hold queues as successor.
-        e.on_message(&mut fio, NodeId(0), SyncMsg::LockFwd { lock: 0, requester: NodeId(2), reqinfo: () }, &mut ev);
+        e.on_message(
+            &mut fio,
+            NodeId(0),
+            SyncMsg::LockFwd {
+                lock: 0,
+                requester: NodeId(2),
+                reqinfo: (),
+            },
+            &mut ev,
+        );
         match e.release(0) {
             ReleaseAction::GrantTo { to, .. } => assert_eq!(to, NodeId(2)),
             other => panic!("expected GrantTo, got {other:?}"),

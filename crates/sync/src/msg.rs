@@ -7,7 +7,7 @@
 //! The sync engines therefore treat the consistency payload as an
 //! opaque `P:`[`SyncPiggy`] supplied by the coherence layer.
 
-use dsm_net::{NodeId, Payload};
+use dsm_net::{KindId, NodeId, Payload};
 
 /// Ids for application-level locks and barriers.
 pub type LockId = u32;
@@ -34,20 +34,34 @@ impl SyncPiggy for () {
 pub enum SyncMsg<P> {
     /// Requester → lock home. `reqinfo` lets the eventual granter
     /// compute a minimal piggyback (e.g. the acquirer's vector clock).
-    LockReq { lock: LockId, requester: NodeId, reqinfo: P },
+    LockReq {
+        lock: LockId,
+        requester: NodeId,
+        reqinfo: P,
+    },
     /// Home → current tail (distributed queue lock): "grant to
     /// `requester` when you release".
-    LockFwd { lock: LockId, requester: NodeId, reqinfo: P },
+    LockFwd {
+        lock: LockId,
+        requester: NodeId,
+        reqinfo: P,
+    },
     /// Granter → requester: the lock is yours; apply `piggy` first.
     LockGrant { lock: LockId, piggy: P },
     /// Releaser → server (centralized lock only).
     LockRel { lock: LockId, piggy: P },
     /// Barrier arrival, carrying the contributions of the sender's
     /// subtree (a single node for the centralized barrier).
-    BarArrive { id: BarrierId, contributions: Vec<(NodeId, P)> },
+    BarArrive {
+        id: BarrierId,
+        contributions: Vec<(NodeId, P)>,
+    },
     /// Barrier release flowing back down, carrying per-node payloads
     /// for every node in the receiver's subtree.
-    BarRelease { id: BarrierId, releases: Vec<(NodeId, P)> },
+    BarRelease {
+        id: BarrierId,
+        releases: Vec<(NodeId, P)>,
+    },
 }
 
 impl<P: SyncPiggy> Payload for SyncMsg<P> {
@@ -64,7 +78,10 @@ impl<P: SyncPiggy> Payload for SyncMsg<P> {
                     .sum::<usize>()
             }
             SyncMsg::BarRelease { releases, .. } => {
-                4 + releases.iter().map(|(_, p)| 4 + p.wire_bytes()).sum::<usize>()
+                4 + releases
+                    .iter()
+                    .map(|(_, p)| 4 + p.wire_bytes())
+                    .sum::<usize>()
             }
         }
     }
@@ -78,6 +95,17 @@ impl<P: SyncPiggy> Payload for SyncMsg<P> {
             SyncMsg::BarArrive { .. } => "BarArrive",
             SyncMsg::BarRelease { .. } => "BarRelease",
         }
+    }
+
+    fn kind_id(&self) -> KindId {
+        KindId(match self {
+            SyncMsg::LockReq { .. } => 32,
+            SyncMsg::LockFwd { .. } => 33,
+            SyncMsg::LockGrant { .. } => 34,
+            SyncMsg::LockRel { .. } => 35,
+            SyncMsg::BarArrive { .. } => 36,
+            SyncMsg::BarRelease { .. } => 37,
+        })
     }
 }
 

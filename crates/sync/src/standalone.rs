@@ -69,12 +69,10 @@ impl SyncNode {
     ) {
         for ev in events {
             match ev {
-                LockEvent::Acquired { lock, .. } => {
-                    match pending.take() {
-                        Some(SyncOp::Acquire(l)) if l == lock => *completed = true,
-                        other => panic!("unexpected Acquired({lock}) while pending {other:?}"),
-                    }
-                }
+                LockEvent::Acquired { lock, .. } => match pending.take() {
+                    Some(SyncOp::Acquire(l)) if l == lock => *completed = true,
+                    other => panic!("unexpected Acquired({lock}) while pending {other:?}"),
+                },
                 LockEvent::GrantNeeded { lock, to, .. } => {
                     locks.grant(io, lock, to, ());
                 }
@@ -117,8 +115,7 @@ impl NodeBehavior for SyncNode {
                 for ev in events {
                     match ev {
                         BarrierEvent::AllArrived { id, contributions } => {
-                            let releases =
-                                contributions.into_iter().collect::<Vec<_>>();
+                            let releases = contributions.into_iter().collect::<Vec<_>>();
                             // With () piggybacks the "merge" is identity,
                             // but every node must get exactly one entry.
                             debug_assert_eq!(releases.len() as u32, self.nnodes);
@@ -138,14 +135,12 @@ impl NodeBehavior for SyncNode {
                                 }
                             }
                         }
-                        BarrierEvent::Released { id, .. } => {
-                            match self.pending.take() {
-                                Some(SyncOp::Barrier(b)) if b == id => completed = true,
-                                other => panic!(
-                                    "unexpected barrier release {id} while pending {other:?}"
-                                ),
+                        BarrierEvent::Released { id, .. } => match self.pending.take() {
+                            Some(SyncOp::Barrier(b)) if b == id => completed = true,
+                            other => {
+                                panic!("unexpected barrier release {id} while pending {other:?}")
                             }
-                        }
+                        },
                     }
                 }
             }

@@ -28,13 +28,13 @@
 
 use crate::region::{os_page_size, Prot, Region};
 use dsm_mem::PageDiff;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::Read;
 use std::mem::{align_of, size_of};
 use std::os::fd::{FromRawFd, OwnedFd};
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::sync::{Barrier, OnceLock};
 
 /// Coherence mode of the engine.
@@ -59,7 +59,12 @@ pub struct VmConfig {
 
 impl VmConfig {
     pub fn new(nnodes: usize, pages: usize, mode: VmMode) -> Self {
-        VmConfig { nnodes, pages, page_size: os_page_size(), mode }
+        VmConfig {
+            nnodes,
+            pages,
+            page_size: os_page_size(),
+            mode,
+        }
     }
 
     pub fn total_bytes(&self) -> usize {
@@ -160,7 +165,9 @@ impl Shared {
     // ---------------- invalidate mode ----------------
 
     fn service_read_invalidate(&self, node: usize, page: usize) {
-        let mut meta = self.meta[page].lock();
+        let mut meta = self.meta[page]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if self.acc(node, page).load(Ordering::Acquire) >= ACC_READ {
             return; // raced with another service; already readable
         }
@@ -182,7 +189,9 @@ impl Shared {
     }
 
     fn service_write_invalidate(&self, node: usize, page: usize) {
-        let mut meta = self.meta[page].lock();
+        let mut meta = self.meta[page]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if self.acc(node, page).load(Ordering::Acquire) == ACC_WRITE {
             return;
         }
@@ -212,16 +221,15 @@ impl Shared {
 
     // ---------------- twin/diff mode ----------------
 
-    fn master_mut<'a>(
-        &self,
-        meta: &'a mut PageMeta,
-    ) -> &'a mut Box<[u8]> {
+    fn master_mut<'a>(&self, meta: &'a mut PageMeta) -> &'a mut Box<[u8]> {
         meta.master
             .get_or_insert_with(|| vec![0u8; self.cfg.page_size].into_boxed_slice())
     }
 
     fn service_read_twin(&self, node: usize, page: usize) {
-        let mut meta = self.meta[page].lock();
+        let mut meta = self.meta[page]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if self.acc(node, page).load(Ordering::Acquire) >= ACC_READ {
             return;
         }
@@ -237,7 +245,9 @@ impl Shared {
     }
 
     fn service_write_twin(&self, node: usize, page: usize) {
-        let mut meta = self.meta[page].lock();
+        let mut meta = self.meta[page]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if self.acc(node, page).load(Ordering::Acquire) == ACC_WRITE {
             return;
         }
@@ -255,7 +265,10 @@ impl Shared {
         unsafe {
             ptr::copy_nonoverlapping(self.regions[node].at(off), twin.as_mut_ptr(), ps);
         }
-        self.twins[node].lock().insert(page, twin);
+        self.twins[node]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(page, twin);
         self.acc(node, page).store(ACC_WRITE, Ordering::Release);
     }
 
@@ -263,20 +276,23 @@ impl Shared {
     /// local copies (called by the app thread at a barrier).
     fn flush_twins(&self, node: usize) {
         let ps = self.cfg.page_size;
-        let twins: Vec<(usize, Box<[u8]>)> =
-            self.twins[node].lock().drain().collect();
+        let twins: Vec<(usize, Box<[u8]>)> = self.twins[node]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain()
+            .collect();
         for (page, twin) in twins {
             let off = self.off(page);
-            let cur = unsafe {
-                std::slice::from_raw_parts(self.regions[node].at(off), ps)
-            };
+            let cur = unsafe { std::slice::from_raw_parts(self.regions[node].at(off), ps) };
             let diff = PageDiff::create(&twin, cur);
             self.stats.diffs_created.fetch_add(1, Ordering::Relaxed);
             self.stats
                 .diff_bytes
                 .fetch_add(diff.wire_bytes() as u64, Ordering::Relaxed);
             if !diff.is_empty() {
-                let mut meta = self.meta[page].lock();
+                let mut meta = self.meta[page]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 let master = self.master_mut(&mut meta);
                 diff.apply(master);
             }
@@ -343,11 +359,7 @@ fn futex_wake_all(word: &AtomicU32) {
     }
 }
 
-extern "C" fn segv_handler(
-    _sig: libc::c_int,
-    info: *mut libc::siginfo_t,
-    _ctx: *mut libc::c_void,
-) {
+extern "C" fn segv_handler(_sig: libc::c_int, info: *mut libc::siginfo_t, _ctx: *mut libc::c_void) {
     // Async-signal-safe only: atomics, write(2), futex.
     let shared = SHARED_PTR.load(Ordering::Acquire);
     if !shared.is_null() {
@@ -383,15 +395,15 @@ extern "C" fn segv_handler(
 
 fn install_handler() {
     static ONCE: OnceLock<()> = OnceLock::new();
-    ONCE.get_or_init(|| {
-        unsafe {
-            let mut sa: libc::sigaction = std::mem::zeroed();
-            sa.sa_sigaction = segv_handler as extern "C" fn(libc::c_int, *mut libc::siginfo_t, *mut libc::c_void) as usize;
-            sa.sa_flags = libc::SA_SIGINFO;
-            libc::sigemptyset(&mut sa.sa_mask);
-            let rc = libc::sigaction(libc::SIGSEGV, &sa, ptr::null_mut());
-            assert_eq!(rc, 0, "sigaction failed");
-        }
+    ONCE.get_or_init(|| unsafe {
+        let mut sa: libc::sigaction = std::mem::zeroed();
+        sa.sa_sigaction = segv_handler
+            as extern "C" fn(libc::c_int, *mut libc::siginfo_t, *mut libc::c_void)
+            as usize;
+        sa.sa_flags = libc::SA_SIGINFO;
+        libc::sigemptyset(&mut sa.sa_mask);
+        let rc = libc::sigaction(libc::SIGSEGV, &sa, ptr::null_mut());
+        assert_eq!(rc, 0, "sigaction failed");
     });
 }
 
@@ -464,7 +476,9 @@ impl VmNode<'_> {
             VmMode::Invalidate,
             "vm locks require the sequentially consistent mode"
         );
-        let _guard = self.shared.app_locks[id].lock();
+        let _guard = self.shared.app_locks[id]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         f()
     }
 
@@ -501,12 +515,15 @@ where
         "page size must be a multiple of the OS page"
     );
 
-    let guard = ENGINE_GUARD.lock();
+    let guard = ENGINE_GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     install_handler();
 
     let total = cfg.total_bytes();
-    let regions: Vec<Region> =
-        (0..cfg.nnodes).map(|_| Region::new(total).expect("mmap")).collect();
+    let regions: Vec<Region> = (0..cfg.nnodes)
+        .map(|_| Region::new(total).expect("mmap"))
+        .collect();
 
     // Invalidate mode: page p starts owned by node p % n with a zeroed
     // writable copy (kernel zero-fill on first touch).
@@ -519,8 +536,9 @@ where
             master: None,
         }));
     }
-    let access: Vec<AtomicU8> =
-        (0..cfg.nnodes * cfg.pages).map(|_| AtomicU8::new(ACC_NONE)).collect();
+    let access: Vec<AtomicU8> = (0..cfg.nnodes * cfg.pages)
+        .map(|_| AtomicU8::new(ACC_NONE))
+        .collect();
     if cfg.mode == VmMode::Invalidate {
         for p in 0..cfg.pages {
             let home = p % cfg.nnodes;
@@ -553,12 +571,17 @@ where
             .collect(),
         pipe_w: pipe_w.clone(),
         barrier: Barrier::new(cfg.nnodes),
-        twins: (0..cfg.nnodes).map(|_| Mutex::new(HashMap::new())).collect(),
+        twins: (0..cfg.nnodes)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect(),
         app_locks: (0..64).map(|_| Mutex::new(())).collect(),
         stats: VmStats::default(),
     });
     let shared_ref: &Shared = &shared;
-    SHARED_PTR.store(shared_ref as *const Shared as *mut Shared, Ordering::Release);
+    SHARED_PTR.store(
+        shared_ref as *const Shared as *mut Shared,
+        Ordering::Release,
+    );
 
     let results: Vec<R> = std::thread::scope(|s| {
         // Service threads.
@@ -568,11 +591,7 @@ where
             services.push(s.spawn(move || {
                 let mut file = std::fs::File::from(rfd);
                 let mut byte = [0u8; 1];
-                loop {
-                    match file.read_exact(&mut byte) {
-                        Ok(()) => {}
-                        Err(_) => break,
-                    }
+                while file.read_exact(&mut byte).is_ok() {
                     if byte[0] == 0xFF {
                         break;
                     }
@@ -594,8 +613,10 @@ where
                 f(&node)
             }));
         }
-        let results: Vec<R> =
-            apps.into_iter().map(|j| j.join().expect("app thread panicked")).collect();
+        let results: Vec<R> = apps
+            .into_iter()
+            .map(|j| j.join().expect("app thread panicked"))
+            .collect();
 
         // Stop services.
         for &w in &pipe_w {

@@ -50,7 +50,10 @@ impl Region {
         if base == libc::MAP_FAILED {
             return Err(io::Error::last_os_error());
         }
-        Ok(Region { base: base as *mut u8, len })
+        Ok(Region {
+            base: base as *mut u8,
+            len,
+        })
     }
 
     pub fn base(&self) -> *mut u8 {
@@ -74,9 +77,8 @@ impl Region {
     /// Change protection of `[off, off+len)` (must be page-aligned).
     pub fn protect(&self, off: usize, len: usize, prot: Prot) {
         debug_assert!(off + len <= self.len);
-        let rc = unsafe {
-            libc::mprotect(self.base.add(off) as *mut libc::c_void, len, prot.flags())
-        };
+        let rc =
+            unsafe { libc::mprotect(self.base.add(off) as *mut libc::c_void, len, prot.flags()) };
         assert_eq!(rc, 0, "mprotect failed: {}", io::Error::last_os_error());
     }
 

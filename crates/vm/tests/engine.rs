@@ -193,9 +193,16 @@ fn twin_diff_mini_stencil_matches_sequential() {
             let (src, dst): (&dyn Fn(usize) -> usize, &dyn Fn(usize) -> usize) =
                 if step % 2 == 0 { (&a, &b) } else { (&b, &a) };
             for i in lo..hi {
-                let left = if i == 0 { 0 } else { node.read::<u64>(src(i - 1)) };
-                let right =
-                    if i == N - 1 { 0 } else { node.read::<u64>(src(i + 1)) };
+                let left = if i == 0 {
+                    0
+                } else {
+                    node.read::<u64>(src(i - 1))
+                };
+                let right = if i == N - 1 {
+                    0
+                } else {
+                    node.read::<u64>(src(i + 1))
+                };
                 let cur = node.read::<u64>(src(i));
                 node.write::<u64>(dst(i), (left + right + cur) / 3);
             }

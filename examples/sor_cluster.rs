@@ -12,11 +12,18 @@ use dsm_apps::sor;
 use dsm_core::{DsmConfig, Placement, ProtocolKind};
 
 fn main() {
-    let p = sor::SorParams { n: 512, iters: 3, omega: 1.25 };
+    let p = sor::SorParams {
+        n: 512,
+        iters: 3,
+        omega: 1.25,
+    };
     let protos = [ProtocolKind::IvyFixed, ProtocolKind::Erc, ProtocolKind::Lrc];
     let ns = [1u32, 2, 4, 8, 16];
 
-    println!("red-black SOR, {0}x{0} grid, {1} iterations, 1992 Ethernet model\n", p.n, p.iters);
+    println!(
+        "red-black SOR, {0}x{0} grid, {1} iterations, 1992 Ethernet model\n",
+        p.n, p.iters
+    );
     println!(
         "{:>6} {:>12} {:>10} {:>10} {:>12}",
         "nodes", "protocol", "time ms", "speedup", "msgs"

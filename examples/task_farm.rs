@@ -19,7 +19,10 @@ fn main() {
     };
     let (want_sum, want_xor) = taskqueue::expected_digest(&p);
 
-    println!("task farm: {} tasks of 2ms, 1 producer + workers\n", p.tasks);
+    println!(
+        "task farm: {} tasks of 2ms, 1 producer + workers\n",
+        p.tasks
+    );
     println!(
         "{:>6} {:>10} {:>12} {:>10} {:>12}",
         "nodes", "protocol", "time ms", "msgs", "kbytes"
@@ -36,7 +39,11 @@ fn main() {
             // Exactly-once verification across the whole farm.
             let sum: u64 = res.results.iter().map(|r| r.id_sum).sum();
             let xor: u64 = res.results.iter().fold(0, |a, r| a ^ r.id_xor);
-            assert_eq!((sum, xor), (want_sum, want_xor), "lost or duplicated tasks!");
+            assert_eq!(
+                (sum, xor),
+                (want_sum, want_xor),
+                "lost or duplicated tasks!"
+            );
             println!(
                 "{:>6} {:>10} {:>12.1} {:>10} {:>12.1}",
                 n,

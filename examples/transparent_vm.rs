@@ -23,7 +23,10 @@ fn main() {
         node.barrier();
         (0..4).map(|i| node.read::<u64>(i * 8)).sum::<u64>()
     });
-    println!("per-node sums: {:?} (expect 11+22+33+44 = 110)", res.results);
+    println!(
+        "per-node sums: {:?} (expect 11+22+33+44 = 110)",
+        res.results
+    );
     println!(
         "faults: {} read + {} write, {} KiB copied, {:.1} us per fault\n",
         res.stats.read_faults,

@@ -1,0 +1,132 @@
+//! Cross-protocol determinism: the same seed must give bit-identical
+//! runs — same results, same final memory image, same virtual
+//! completion time, same per-kind message table — for every protocol,
+//! and the zero-rendezvous hit fast path must be observationally
+//! identical to the rendezvous-per-access slow path.
+//!
+//! Two workloads with different sharing patterns: red-black SOR
+//! (neighbor sharing, barriers) and the master–worker task queue
+//! (lock-bound mutual exclusion with polling).
+
+use dsm_apps::{sor, taskqueue};
+use dsm_core::{CostModel, Dsm, DsmConfig, Dur, GlobalAddr, NetStats, ProtocolKind, SimTime};
+
+const NODES: u32 = 3;
+
+/// What a run leaves behind: per-node results (node 0's includes its
+/// view of the whole heap after global quiescence), the virtual
+/// completion time, and the full traffic table.
+#[derive(Debug, PartialEq)]
+struct Trace<V> {
+    results: Vec<(V, Vec<u8>)>,
+    end_time: SimTime,
+    stats: NetStats,
+}
+
+/// Delivery jitter on, so determinism covers the kernel's PRNG too.
+fn model() -> CostModel {
+    CostModel::lan_1992().with_jitter(Dur::micros(50), 42)
+}
+
+/// Barrier, then node 0 reads back the entire heap.
+fn quiesce_and_image(dsm: &Dsm<'_>, heap: usize) -> Vec<u8> {
+    dsm.barrier(7);
+    let image = if dsm.id().0 == 0 {
+        dsm.read_bytes(GlobalAddr(0), heap)
+    } else {
+        Vec::new()
+    };
+    dsm.barrier(8);
+    image
+}
+
+fn run_sor(proto: ProtocolKind, fast_path: bool) -> Trace<u64> {
+    let p = sor::SorParams {
+        n: 16,
+        iters: 2,
+        omega: 1.25,
+    };
+    let heap = p.heap_bytes();
+    let cfg = DsmConfig::new(NODES, proto)
+        .heap_bytes(heap)
+        .model(model())
+        .fast_path(fast_path);
+    let res = dsm_core::run_dsm(&cfg, |dsm: &Dsm<'_>| {
+        let sum = sor::run(dsm, &p);
+        (sum.to_bits(), quiesce_and_image(dsm, heap))
+    });
+    Trace {
+        results: res.results,
+        end_time: res.end_time,
+        stats: res.stats,
+    }
+}
+
+fn run_taskqueue(proto: ProtocolKind, fast_path: bool) -> Trace<(u64, u64, u64)> {
+    let p = taskqueue::TaskQueueParams {
+        tasks: 8,
+        task_time: Dur::millis(2),
+        produce_time: Dur::micros(50),
+        poll: Dur::micros(500),
+    };
+    let heap = p.heap_bytes();
+    let (lock, addr, len) = p.binding();
+    let cfg = DsmConfig::new(NODES, proto)
+        .heap_bytes(heap)
+        .model(model())
+        .fast_path(fast_path)
+        .bind(lock, addr, len);
+    let res = dsm_core::run_dsm(&cfg, |dsm: &Dsm<'_>| {
+        let r = taskqueue::run(dsm, &p);
+        (
+            (r.executed, r.id_sum, r.id_xor),
+            quiesce_and_image(dsm, heap),
+        )
+    });
+    Trace {
+        results: res.results,
+        end_time: res.end_time,
+        stats: res.stats,
+    }
+}
+
+#[test]
+fn sor_same_seed_same_trace_every_protocol() {
+    for proto in ProtocolKind::ALL {
+        let a = run_sor(proto, true);
+        let b = run_sor(proto, true);
+        assert_eq!(a, b, "{proto}: same-seed SOR runs diverged");
+    }
+}
+
+#[test]
+fn taskqueue_same_seed_same_trace_every_protocol() {
+    for proto in ProtocolKind::ALL {
+        let a = run_taskqueue(proto, true);
+        let b = run_taskqueue(proto, true);
+        assert_eq!(a, b, "{proto}: same-seed taskqueue runs diverged");
+    }
+}
+
+/// The fast path must change nothing observable: not the outputs, not
+/// the virtual times, not a single message in the traffic table.
+#[test]
+fn sor_fast_path_matches_slow_path() {
+    for proto in ProtocolKind::ALL {
+        let fast = run_sor(proto, true);
+        let slow = run_sor(proto, false);
+        assert_eq!(fast, slow, "{proto}: SOR fast path diverged from slow path");
+    }
+}
+
+#[test]
+fn taskqueue_fast_path_matches_slow_path() {
+    for proto in ProtocolKind::ALL {
+        let fast = run_taskqueue(proto, true);
+        let slow = run_taskqueue(proto, false);
+        assert_eq!(
+            fast, slow,
+            "{proto}: taskqueue fast path diverged from slow path"
+        );
+    }
+}

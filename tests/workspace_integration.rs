@@ -107,7 +107,11 @@ fn deterministic_virtual_times_across_protocols() {
                 });
                 dsm.barrier(1);
             });
-            (res.end_time, res.stats.total_msgs(), res.stats.total_bytes())
+            (
+                res.end_time,
+                res.stats.total_msgs(),
+                res.stats.total_bytes(),
+            )
         };
         assert_eq!(run(), run(), "{proto} not deterministic");
     }

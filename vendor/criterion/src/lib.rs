@@ -1,0 +1,259 @@
+//! Minimal Criterion-compatible benchmark harness for offline builds.
+//!
+//! Implements the subset of the `criterion` 0.5 API this workspace's
+//! benches use: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, `sample_size`,
+//! and the `criterion_group!` / `criterion_main!` macros. Reports
+//! mean / min / max wall time per iteration on stdout.
+//!
+//! Command-line: a bare positional argument filters benchmarks by
+//! substring (matching `cargo bench -- <filter>`); `--bench`,
+//! `--test`, and other harness flags are ignored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measures one benchmark body repeatedly.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Calls `body` repeatedly: first to size a batch targeting a fixed
+    /// per-sample wall time, then `sample_count` timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm up and size the batch so one sample runs ~50ms.
+        let t0 = Instant::now();
+        black_box(body());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(50);
+        let per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.iters_per_sample = per_sample;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(body());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self) -> Option<(Duration, Duration, Duration)> {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return None;
+        }
+        let per_iter = |d: &Duration| *d / self.iters_per_sample as u32;
+        let mean = self.samples.iter().sum::<Duration>()
+            / (self.samples.len() as u32 * self.iters_per_sample as u32);
+        let min = self.samples.iter().map(per_iter).min()?;
+        let max = self.samples.iter().map(per_iter).max()?;
+        Some((mean, min, max))
+    }
+}
+
+/// Identifier for a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkId, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into_id();
+        let sample_size = 20;
+        self.run_one(&id, sample_size, body);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, sample_size: usize, mut body: F) {
+        if !self.matches(id) {
+            return;
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 0,
+            sample_count: sample_size,
+        };
+        body(&mut b);
+        match b.report() {
+            Some((mean, min, max)) => println!(
+                "{id:<48} time: [{} {} {}]",
+                fmt_dur(min),
+                fmt_dur(mean),
+                fmt_dur(max)
+            ),
+            None => println!("{id:<48} time: [no samples]"),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkId, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into_id());
+        self.criterion.run_one(&id, self.sample_size, body);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        name: impl IntoBenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, name.into_id());
+        self.criterion
+            .run_one(&id, self.sample_size, |b| body(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 0,
+            sample_count: 3,
+        };
+        b.iter(|| black_box(1u64 + 1));
+        let (mean, min, max) = b.report().expect("samples collected");
+        assert!(min <= mean && mean <= max);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(32).into_id(), "32");
+        assert_eq!(BenchmarkId::new("sor", 32).into_id(), "sor/32");
+    }
+}

@@ -1,0 +1,122 @@
+//! Minimal vendored `libc` subset for offline builds.
+//!
+//! Declares exactly the symbols, constants, and struct layouts the
+//! workspace uses (the `dsm-vm` mprotect/SIGSEGV engine), targeting
+//! x86_64 Linux with glibc. Layouts mirror glibc's userspace ABI.
+
+#![allow(non_camel_case_types)]
+
+pub use std::ffi::{c_int, c_long, c_void};
+
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type off_t = i64;
+pub type sighandler_t = size_t;
+
+// ---- memory mapping ----
+
+pub const PROT_NONE: c_int = 0;
+pub const PROT_READ: c_int = 1;
+pub const PROT_WRITE: c_int = 2;
+pub const MAP_PRIVATE: c_int = 0x02;
+pub const MAP_ANONYMOUS: c_int = 0x20;
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+
+// ---- sysconf ----
+
+pub const _SC_PAGESIZE: c_int = 30;
+
+// ---- signals (glibc x86_64 layouts) ----
+
+pub const SIGSEGV: c_int = 11;
+pub const SA_SIGINFO: c_int = 4;
+pub const SIG_DFL: sighandler_t = 0;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigset_t {
+    __val: [u64; 16],
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigaction {
+    pub sa_sigaction: sighandler_t,
+    pub sa_mask: sigset_t,
+    pub sa_flags: c_int,
+    pub sa_restorer: Option<unsafe extern "C" fn()>,
+}
+
+/// glibc's 128-byte `siginfo_t`; the fault-address union member starts
+/// at offset 16 on x86_64.
+#[repr(C)]
+pub struct siginfo_t {
+    pub si_signo: c_int,
+    pub si_errno: c_int,
+    pub si_code: c_int,
+    _pad0: c_int,
+    _fields: [u64; 14],
+}
+
+impl siginfo_t {
+    /// Fault address for SIGSEGV/SIGBUS.
+    ///
+    /// # Safety
+    /// Only meaningful for signals whose union carries an address.
+    pub unsafe fn si_addr(&self) -> *mut c_void {
+        self._fields[0] as *mut c_void
+    }
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct timespec {
+    pub tv_sec: i64,
+    pub tv_nsec: i64,
+}
+
+// ---- futex ----
+
+#[allow(non_upper_case_globals)]
+pub const SYS_futex: c_long = 202;
+pub const FUTEX_WAIT: c_int = 0;
+pub const FUTEX_WAKE: c_int = 1;
+
+extern "C" {
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+    pub fn sysconf(name: c_int) -> c_long;
+    pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
+    pub fn sigemptyset(set: *mut sigset_t) -> c_int;
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+    pub fn syscall(num: c_long, ...) -> c_long;
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    pub fn pipe(fds: *mut c_int) -> c_int;
+    pub fn close(fd: c_int) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_sizes_match_glibc() {
+        assert_eq!(std::mem::size_of::<sigset_t>(), 128);
+        assert_eq!(std::mem::size_of::<siginfo_t>(), 128);
+        assert_eq!(std::mem::size_of::<sigaction>(), 152);
+    }
+
+    #[test]
+    fn page_size_is_sane() {
+        let ps = unsafe { sysconf(_SC_PAGESIZE) };
+        assert!(ps == 4096 || ps == 16384 || ps == 65536);
+    }
+}
