@@ -9,6 +9,7 @@ use dsm_net::{
 use dsm_sync::{BarrierKind, LockKind, SyncNode, SyncOp};
 use std::hint::black_box;
 
+#[derive(Clone)]
 enum M {
     Ping(u32),
     Pong(u32),

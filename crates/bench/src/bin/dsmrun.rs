@@ -9,7 +9,9 @@
 //! ```
 
 use dsm_apps::{fft, gauss, jacobi, matmul, sor, sort, taskqueue, tsp};
-use dsm_core::{BarrierKind, Dsm, DsmConfig, Dur, EntryBinding, LockKind, Placement, ProtocolKind};
+use dsm_core::{
+    BarrierKind, Dsm, DsmConfig, Dur, EntryBinding, FaultPlan, LockKind, Placement, ProtocolKind,
+};
 
 struct Args {
     app: String,
@@ -21,6 +23,9 @@ struct Args {
     lock: LockKind,
     barrier: BarrierKind,
     fast_path: bool,
+    drop_prob: f64,
+    dup_prob: f64,
+    fault_seed: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +39,9 @@ fn parse_args() -> Result<Args, String> {
         lock: LockKind::Queue,
         barrier: BarrierKind::Central,
         fast_path: true,
+        drop_prob: 0.0,
+        dup_prob: 0.0,
+        fault_seed: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -85,6 +93,9 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--no-fast-path" => args.fast_path = false,
+            "--drop-prob" => args.drop_prob = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--dup-prob" => args.dup_prob = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--fault-seed" => args.fault_seed = val()?.parse().map_err(|e| format!("{e}"))?,
             other => return Err(format!("unknown flag {other} (try --list)")),
         }
     }
@@ -99,7 +110,7 @@ fn main() {
             eprintln!(
                 "usage: dsmrun --app <name> --proto <name> [--nodes N] [--page B] \
                  [--size S] [--placement P] [--lock K] [--barrier K] \
-                 [--no-fast-path] | --list"
+                 [--no-fast-path] [--drop-prob P] [--dup-prob P] [--fault-seed S] | --list"
             );
             std::process::exit(2);
         }
@@ -114,6 +125,7 @@ fn main() {
             .barrier_kind(a.barrier)
             .fast_path(a.fast_path)
             .max_events(2_000_000_000)
+            .faults(FaultPlan::lossy(a.drop_prob, a.dup_prob, a.fault_seed))
     };
 
     let (end, stats, verdict) = match a.app.as_str() {
@@ -239,6 +251,12 @@ fn main() {
         a.page,
         a.placement
     );
+    if a.drop_prob > 0.0 || a.dup_prob > 0.0 {
+        println!(
+            "faults: drop={} dup={} seed={} (reliable transport engaged)",
+            a.drop_prob, a.dup_prob, a.fault_seed
+        );
+    }
     println!("virtual completion time: {end}");
     println!("verification: {}", if verdict { "OK" } else { "MISMATCH" });
     println!("\n{stats}");

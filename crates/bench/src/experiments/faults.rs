@@ -1,0 +1,100 @@
+//! E16 — what does reliability cost? Sweep the message drop rate across
+//! all eight protocols (duplication riding along at half the drop rate)
+//! and measure the price the reliable transport pays to hide the loss:
+//! retransmissions, added messages, and completion-time overhead. The
+//! application results are asserted byte-identical to the lossless run
+//! at every point — that is the contract the transport sells.
+
+use super::Scale;
+use crate::table::{print_fault_table, print_table, Series};
+use dsm_apps::sor;
+use dsm_core::{Dsm, DsmConfig, FaultPlan, NetStats, ProtocolKind};
+
+fn run_once(
+    proto: ProtocolKind,
+    nodes: u32,
+    p: &sor::SorParams,
+    plan: FaultPlan,
+) -> (Vec<f64>, f64, NetStats) {
+    let p = *p;
+    let cfg = DsmConfig::new(nodes, proto)
+        .heap_bytes(p.heap_bytes())
+        .faults(plan)
+        .max_events(2_000_000_000);
+    let res = dsm_core::run_dsm(&cfg, move |d: &Dsm<'_>| sor::run(d, &p));
+    (res.results, res.end_time.as_millis_f64(), res.stats)
+}
+
+/// E16 — reliability under a lossy network: overhead of drops + dups.
+pub fn e16_faults(scale: Scale) {
+    let nodes = scale.pick(2u32, 4);
+    let p = sor::SorParams {
+        n: scale.pick(16, 48),
+        iters: scale.pick(2, 3),
+        omega: 1.25,
+    };
+    let rates = scale.pick(vec![0.0, 0.10], vec![0.0, 0.05, 0.10, 0.20]);
+    let seed = 11;
+
+    let mut time_ms: Vec<Series> = Vec::new();
+    let mut msgs: Vec<Series> = Vec::new();
+    let mut rexmit: Vec<Series> = Vec::new();
+    let mut showcase: Option<NetStats> = None;
+
+    for proto in ProtocolKind::ALL {
+        let mut t = Series::new(proto.name());
+        let mut m = Series::new(proto.name());
+        let mut r = Series::new(proto.name());
+        let baseline = run_once(proto, nodes, &p, FaultPlan::NONE);
+        for &rate in &rates {
+            let plan = if rate == 0.0 {
+                FaultPlan::NONE
+            } else {
+                FaultPlan::lossy(rate, rate / 2.0, seed)
+            };
+            let (results, ms, stats) = run_once(proto, nodes, &p, plan);
+            assert_eq!(
+                results, baseline.0,
+                "E16: {proto} diverged from lossless results at drop={rate}"
+            );
+            t.push(ms);
+            m.push(stats.total_msgs() as f64);
+            r.push(stats.total_retransmits() as f64);
+            if proto == ProtocolKind::Lrc && rate == *rates.last().unwrap() {
+                showcase = Some(stats);
+            }
+        }
+        time_ms.push(t);
+        msgs.push(m);
+        rexmit.push(r);
+    }
+
+    let xs: Vec<String> = rates.iter().map(|r| format!("{:.0}%", r * 100.0)).collect();
+    print_table(
+        "E16 (faults): SOR completion time under message loss (ms; dup = drop/2)",
+        "drop rate",
+        &xs,
+        &time_ms,
+    );
+    print_table(
+        "E16 (faults): total messages transmitted (incl. acks + resends)",
+        "drop rate",
+        &xs,
+        &msgs,
+    );
+    print_table(
+        "E16 (faults): retransmissions by the reliable transport",
+        "drop rate",
+        &xs,
+        &rexmit,
+    );
+    if let Some(stats) = showcase {
+        print_fault_table(
+            &format!(
+                "E16 (faults): per-kind fault breakdown — lrc at {} drop",
+                xs.last().unwrap()
+            ),
+            &stats,
+        );
+    }
+}

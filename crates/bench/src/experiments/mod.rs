@@ -4,11 +4,13 @@
 //! thin wrappers.
 
 mod ablation;
+mod faults;
 mod memory;
 mod scaling;
 mod sync_and_vm;
 
 pub use ablation::{e13_nic_ablation, e14_lrc_lock_ablation};
+pub use faults::e16_faults;
 pub use memory::{e05_false_sharing, e06_erc_vs_lrc, e09_diffs};
 pub use scaling::{
     e01_managers, e02_sor, e03_matmul, e04_gauss, e11_entry_vs_lrc, e12_tsp, e15_fft,
@@ -49,4 +51,5 @@ pub fn run_all(scale: Scale) {
     e13_nic_ablation(scale);
     e14_lrc_lock_ablation(scale);
     e15_fft(scale);
+    e16_faults(scale);
 }

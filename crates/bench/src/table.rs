@@ -43,6 +43,33 @@ pub fn print_table(title: &str, x_label: &str, xs: &[String], series: &[Series])
     println!();
 }
 
+/// Print a per-kind fault breakdown for one run: messages sent plus
+/// the drop/duplicate/retransmit counters kept by
+/// [`dsm_net::NetStats`].
+pub fn print_fault_table(title: &str, stats: &dsm_net::NetStats) {
+    println!("== {title}");
+    println!(
+        "{:>14} {:>10} {:>12} {:>8} {:>8} {:>8}",
+        "kind", "msgs", "bytes", "dropped", "dup", "rexmit"
+    );
+    for (kind, k, dropped, dup, rexmit) in stats.iter_faults() {
+        println!(
+            "{:>14} {:>10} {:>12} {:>8} {:>8} {:>8}",
+            kind, k.count, k.bytes, dropped, dup, rexmit
+        );
+    }
+    println!(
+        "{:>14} {:>10} {:>12} {:>8} {:>8} {:>8}",
+        "TOTAL",
+        stats.total_msgs(),
+        stats.total_bytes(),
+        stats.total_dropped(),
+        stats.total_duplicated(),
+        stats.total_retransmits()
+    );
+    println!();
+}
+
 /// Convenience: integer x axis.
 pub fn xs_of<T: std::fmt::Display>(xs: &[T]) -> Vec<String> {
     xs.iter().map(|x| x.to_string()).collect()

@@ -32,7 +32,7 @@ pub use node::{DsmNode, DsmOp, DsmReply, OpBuf, OpData};
 
 // Re-export the vocabulary types users need.
 pub use dsm_mem::{GlobalAddr, PageGeometry, PageId, Placement, SpaceLayout};
-pub use dsm_net::{CostModel, Dur, NetStats, NodeId, RunResult, SimTime};
+pub use dsm_net::{CostModel, Dur, FaultPlan, NetStats, NodeId, RunResult, SimTime};
 pub use dsm_proto::{EntryBinding, ProtocolKind};
 pub use dsm_sync::{BarrierId, BarrierKind, LockId, LockKind};
 
@@ -51,6 +51,10 @@ pub struct DsmConfig {
     pub bindings: Vec<EntryBinding>,
     /// Livelock guard for the event kernel.
     pub max_events: u64,
+    /// Progress-watchdog window: if no program makes progress for this
+    /// much virtual time the run panics with a per-node diagnostic
+    /// dump. `Dur::ZERO` disables the watchdog.
+    pub stall_window: Dur,
     /// Service page hits on the application thread via a [`Lease`]
     /// (no kernel rendezvous per hit). On by default; turn off to
     /// force every access through the op path — timing and outputs
@@ -73,6 +77,7 @@ impl DsmConfig {
             model: CostModel::lan_1992(),
             bindings: Vec::new(),
             max_events: 200_000_000,
+            stall_window: dsm_net::DEFAULT_STALL_WINDOW,
             fast_path: true,
         }
     }
@@ -117,6 +122,20 @@ impl DsmConfig {
         self
     }
 
+    pub fn stall_window(mut self, w: Dur) -> Self {
+        self.stall_window = w;
+        self
+    }
+
+    /// Enable deterministic network fault injection. Any enabled plan
+    /// automatically routes all traffic through the reliable transport
+    /// ([`dsm_net::Reliable`]), so protocols still see exactly-once,
+    /// per-link-FIFO delivery and application results are unchanged.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.model.faults = plan;
+        self
+    }
+
     pub fn fast_path(mut self, on: bool) -> Self {
         self.fast_path = on;
         self
@@ -157,6 +176,28 @@ impl DsmConfig {
     }
 }
 
+/// Run the built fleet: wrapped in the reliable transport when fault
+/// injection is enabled (protocols require exactly-once, per-link-FIFO
+/// delivery), bare otherwise — the bare path is bit-identical to what
+/// it was before fault injection existed.
+fn run_programs<V, P>(cfg: &DsmConfig, nodes: Vec<DsmNode>, programs: Vec<P>) -> RunResult<V>
+where
+    V: Send,
+    P: FnOnce(&dsm_net::AppHandle<DsmOp, DsmReply>) -> V + Send,
+{
+    if cfg.model.faults.enabled() {
+        dsm_net::Sim::new(dsm_net::wrap_fleet(nodes, &cfg.model), cfg.model.clone())
+            .max_events(cfg.max_events)
+            .stall_window(cfg.stall_window)
+            .run(programs)
+    } else {
+        dsm_net::Sim::new(nodes, cfg.model.clone())
+            .max_events(cfg.max_events)
+            .stall_window(cfg.stall_window)
+            .run(programs)
+    }
+}
+
 /// Run one SPMD `program` on every node of a DSM machine described by
 /// `cfg`; the per-node return values, the parallel completion time, and
 /// the network traffic come back in the [`RunResult`].
@@ -177,9 +218,7 @@ where
             }
         })
         .collect();
-    dsm_net::Sim::new(nodes, cfg.model.clone())
-        .max_events(cfg.max_events)
-        .run(programs)
+    run_programs(cfg, nodes, programs)
 }
 
 /// Run with one distinct program per node (MPMD); `programs.len()` must
@@ -202,9 +241,7 @@ where
             }
         })
         .collect();
-    dsm_net::Sim::new(nodes, cfg.model.clone())
-        .max_events(cfg.max_events)
-        .run(programs)
+    run_programs(cfg, nodes, programs)
 }
 
 #[cfg(test)]
@@ -311,6 +348,33 @@ mod tests {
                 }
             });
             assert_eq!(res.results[1], 777, "{proto}");
+        }
+    }
+
+    #[test]
+    fn lossy_network_preserves_results_under_all_protocols() {
+        for proto in protos() {
+            let n = 4;
+            let run = |plan: FaultPlan| {
+                let cfg = DsmConfig::new(n, proto)
+                    .heap_bytes(1 << 14)
+                    .page_size(256)
+                    .faults(plan);
+                run_dsm(&cfg, |dsm| {
+                    let me = dsm.id().0 as usize;
+                    dsm.write_u64(GlobalAddr(me * 8), (me as u64 + 1) * 10);
+                    dsm.barrier(0);
+                    (0..n as usize)
+                        .map(|i| dsm.read_u64(GlobalAddr(i * 8)))
+                        .sum::<u64>()
+                })
+                .results
+            };
+            assert_eq!(
+                run(FaultPlan::lossy(0.2, 0.1, 5)),
+                run(FaultPlan::NONE),
+                "{proto}"
+            );
         }
     }
 

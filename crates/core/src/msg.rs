@@ -6,7 +6,7 @@ use dsm_proto::{Piggy, ProtoMsg};
 use dsm_sync::SyncMsg;
 
 /// Everything that travels between DSM nodes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum CoreMsg {
     Proto(ProtoMsg),
     Sync(SyncMsg<Piggy>),

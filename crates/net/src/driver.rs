@@ -171,11 +171,18 @@ pub struct RunResult<V> {
     pub results: Vec<V>,
 }
 
+/// Default progress-watchdog window: ten seconds of virtual time with
+/// no program making progress is treated as a hang. Far above any
+/// legitimate gap (the longest single modeled cost in the tree is a
+/// sub-second bulk transfer), far below a wedged run's event horizon.
+pub const DEFAULT_STALL_WINDOW: Dur = Dur::millis(10_000);
+
 /// Configuration for one simulation run.
 pub struct Sim<N: NodeBehavior> {
     nodes: Vec<N>,
     model: CostModel,
     max_events: u64,
+    stall_window: Dur,
 }
 
 impl<N: NodeBehavior> Sim<N> {
@@ -187,12 +194,23 @@ impl<N: NodeBehavior> Sim<N> {
             nodes,
             model,
             max_events: u64::MAX,
+            stall_window: DEFAULT_STALL_WINDOW,
         }
     }
 
-    /// Panic if more than `max` events are processed (livelock guard).
+    /// Panic (with a diagnostic dump) if more than `max` events are
+    /// processed — the backstop for zero-delay livelocks, where virtual
+    /// time never advances and the stall watchdog cannot fire.
     pub fn max_events(mut self, max: u64) -> Self {
         self.max_events = max;
+        self
+    }
+
+    /// Progress watchdog: panic with a per-node diagnostic dump if no
+    /// program makes progress for `window` of virtual time while some
+    /// program is still unfinished. `Dur::ZERO` disables the watchdog.
+    pub fn stall_window(mut self, window: Dur) -> Self {
+        self.stall_window = window;
         self
     }
 
@@ -212,6 +230,7 @@ impl<N: NodeBehavior> Sim<N> {
             mut nodes,
             model,
             max_events,
+            stall_window,
         } = self;
         let nnodes = nodes.len() as u32;
         assert_eq!(programs.len(), nodes.len(), "one program per node required");
@@ -264,7 +283,7 @@ impl<N: NodeBehavior> Sim<N> {
             // node order.
             for (i, node) in nodes.iter_mut().enumerate() {
                 let mut ctx = Ctx {
-                    kernel: &mut kernel,
+                    port: &mut kernel,
                     node: NodeId(i as u32),
                 };
                 node.on_start(&mut ctx);
@@ -273,23 +292,61 @@ impl<N: NodeBehavior> Sim<N> {
                 kernel.schedule(SimTime::ZERO, Event::Resume { node: NodeId(i) });
             }
 
-            while let Some((_t, event)) = kernel.pop() {
+            // Progress watchdog state: the virtual time of the last
+            // Resume event for an unfinished program (ops completing,
+            // run-ahead being charged, programs finishing — anything
+            // that is program progress rather than protocol chatter).
+            let mut last_progress = SimTime::ZERO;
+            let mut unfinished = nodes.len();
+
+            while let Some((t, event)) = kernel.pop() {
+                if kernel.over_event_budget() {
+                    panic!(
+                        "{}",
+                        watchdog_report(
+                            &kernel,
+                            &nodes,
+                            &format!(
+                                "kernel exceeded max_events={} — protocol livelock?",
+                                kernel.max_events()
+                            ),
+                        )
+                    );
+                }
+                if stall_window > Dur::ZERO
+                    && unfinished > 0
+                    && t.since(last_progress) > stall_window
+                {
+                    panic!(
+                        "{}",
+                        watchdog_report(
+                            &kernel,
+                            &nodes,
+                            &format!(
+                                "progress watchdog: no program progress for {} of virtual \
+                                 time (last at t={})",
+                                stall_window, last_progress
+                            ),
+                        )
+                    );
+                }
                 match event {
                     Event::Deliver { src, dst, msg } => {
                         let mut ctx = Ctx {
-                            kernel: &mut kernel,
+                            port: &mut kernel,
                             node: dst,
                         };
                         nodes[dst.index()].on_message(&mut ctx, src, msg);
                     }
                     Event::Timer { node, token } => {
                         let mut ctx = Ctx {
-                            kernel: &mut kernel,
+                            port: &mut kernel,
                             node,
                         };
                         nodes[node.index()].on_timer(&mut ctx, token);
                     }
                     Event::Resume { node } => {
+                        last_progress = t;
                         let i = node.index();
                         if kernel.app[i].finished {
                             continue;
@@ -332,6 +389,7 @@ impl<N: NodeBehavior> Sim<N> {
                                         AppYield::Finished { elapsed } => {
                                             kernel.app[i].finished = true;
                                             kernel.app[i].finish_time = kernel.now() + elapsed;
+                                            unfinished -= 1;
                                             break;
                                         }
                                     }
@@ -340,7 +398,7 @@ impl<N: NodeBehavior> Sim<N> {
                             kernel.app[i].in_op = true;
                             let outcome = {
                                 let mut ctx = Ctx {
-                                    kernel: &mut kernel,
+                                    port: &mut kernel,
                                     node,
                                 };
                                 nodes[i].on_op(&mut ctx, op)
@@ -374,15 +432,23 @@ impl<N: NodeBehavior> Sim<N> {
             }
 
             if !kernel.all_finished() {
-                let detail: Vec<String> = kernel
+                let never: Vec<String> = kernel
                     .blocked_nodes()
                     .iter()
-                    .map(|n| format!("{}: {}", n, nodes[n.index()].describe()))
+                    .map(|n| format!("{n}"))
                     .collect();
                 panic!(
-                    "distributed deadlock at t={}: nodes never finished [{}]",
-                    kernel.now(),
-                    detail.join("; ")
+                    "{}",
+                    watchdog_report(
+                        &kernel,
+                        &nodes,
+                        &format!(
+                            "distributed deadlock: event queue drained at t={} with nodes \
+                             never finished [{}]",
+                            kernel.now(),
+                            never.join(" ")
+                        ),
+                    )
                 );
             }
 
@@ -402,6 +468,28 @@ impl<N: NodeBehavior> Sim<N> {
     }
 }
 
+/// Multi-line diagnostic for a wedged run: the reason, kernel counters,
+/// the event-heap top, and every node's program state plus its
+/// behavior's `describe()` line (which, under the reliable transport,
+/// includes in-flight retransmit queue depths).
+fn watchdog_report<N: NodeBehavior>(kernel: &Kernel<N>, nodes: &[N], reason: &str) -> String {
+    let mut out = format!(
+        "{reason}\n  virtual time: {}\n  events processed: {}\n  event heap: {} pending",
+        kernel.now(),
+        kernel.events_processed(),
+        kernel.heap_len(),
+    );
+    if let Some(top) = kernel.peek_summary() {
+        out.push_str(&format!(" (next: {top})"));
+    }
+    for (i, n) in nodes.iter().enumerate() {
+        let desc = n.describe();
+        let desc = if desc.is_empty() { "-" } else { desc.as_str() };
+        out.push_str(&format!("\n  n{i} [{}]: {}", kernel.app_state(i), desc));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,6 +497,7 @@ mod tests {
 
     /// A trivial ping-pong behavior: node 0's program sends a ping op;
     /// the behavior forwards it to node 1, whose handler pongs back.
+    #[derive(Clone)]
     enum PingMsg {
         Ping,
         Pong,
@@ -508,6 +597,83 @@ mod tests {
         }
         let sim = Sim::new(vec![StuckNode], CostModel::default());
         sim.run(vec![|h: &AppHandle<(), ()>| h.op(())]);
+    }
+
+    /// Two nodes ping each other forever via timers without any program
+    /// progress: node programs block on an op nobody completes while
+    /// the behaviors keep virtual time advancing. The stall watchdog
+    /// must fire with a diagnostic dump, not a bare panic.
+    struct WedgedNode {
+        beats: u64,
+    }
+    impl NodeBehavior for WedgedNode {
+        type Msg = PingMsg;
+        type Op = ();
+        type Reply = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+            ctx.set_timer(Dur::millis(1), 7);
+        }
+        fn describe(&self) -> String {
+            format!("wedged; heartbeats={}", self.beats)
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, Self>, _: NodeId, _: Self::Msg) {}
+        fn on_op(&mut self, _: &mut Ctx<'_, Self>, _: ()) -> OpOutcome<()> {
+            OpOutcome::Blocked // nobody will ever complete this
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, token: u64) {
+            self.beats += 1;
+            ctx.set_timer(Dur::millis(1), token);
+        }
+    }
+
+    fn run_wedged(sim: Sim<WedgedNode>) {
+        sim.run(vec![|h: &AppHandle<(), ()>| h.op(()), |h: &AppHandle<
+            (),
+            (),
+        >| h.op(())]);
+    }
+
+    #[test]
+    fn stall_watchdog_dumps_node_state() {
+        let sim = Sim::new(
+            vec![WedgedNode { beats: 0 }, WedgedNode { beats: 0 }],
+            CostModel::default(),
+        )
+        .stall_window(Dur::millis(50));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_wedged(sim)))
+            .expect_err("watchdog should have fired");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload should be a String");
+        assert!(msg.contains("progress watchdog"), "got: {msg}");
+        assert!(msg.contains("event heap"), "got: {msg}");
+        // Both nodes' describe() lines and program states appear.
+        assert!(
+            msg.contains("n0 [blocked]: wedged; heartbeats="),
+            "got: {msg}"
+        );
+        assert!(
+            msg.contains("n1 [blocked]: wedged; heartbeats="),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    fn max_events_backstop_dumps_node_state() {
+        // Watchdog disabled: only the event-count backstop can fire.
+        let sim = Sim::new(
+            vec![WedgedNode { beats: 0 }, WedgedNode { beats: 0 }],
+            CostModel::default(),
+        )
+        .stall_window(Dur::ZERO)
+        .max_events(500);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_wedged(sim)))
+            .expect_err("backstop should have fired");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload should be a String");
+        assert!(msg.contains("exceeded max_events=500"), "got: {msg}");
+        assert!(msg.contains("n0 [blocked]: wedged"), "got: {msg}");
     }
 
     #[test]

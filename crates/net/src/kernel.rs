@@ -8,14 +8,19 @@
 //! (see [`crate::driver`]): the kernel and the app threads rendezvous,
 //! so exactly one logical actor is ever running, making every run
 //! deterministic for a given seed.
+//!
+//! Handlers talk to the world through [`Ctx`], which is backed by a
+//! [`NetPort`] — normally the kernel itself, but a transport adapter
+//! (see [`crate::reliable`]) can interpose to translate sends, which is
+//! how a wrapped behavior runs unchanged over a lossy network.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::model::CostModel;
+use crate::model::{CostModel, FaultPlan};
 use crate::msg::{NodeId, Payload};
 use crate::rng::XorShift64;
-use crate::stats::NetStats;
+use crate::stats::{KindId, NetStats};
 use crate::time::{Dur, SimTime};
 
 /// Per-node protocol logic: a state machine driven by messages from
@@ -125,6 +130,24 @@ impl<R> Default for AppSlot<R> {
     }
 }
 
+/// Everything a handler's [`Ctx`] may ask of the world, factored as a
+/// trait over (message, reply) types so that a wrapper behavior can
+/// interpose: the kernel implements it directly, and
+/// [`crate::reliable::Reliable`] implements it *for its inner
+/// behavior's types* by translating each send into a sequenced,
+/// acknowledged transport frame.
+pub(crate) trait NetPort<M, R> {
+    fn now(&self) -> SimTime;
+    fn nnodes(&self) -> u32;
+    fn model(&self) -> &CostModel;
+    fn send_from(&mut self, src: NodeId, dst: NodeId, msg: M, extra: Dur);
+    fn complete_op_after(&mut self, node: NodeId, reply: R, delay: Dur);
+    fn op_parked(&self, node: NodeId) -> bool;
+    fn set_timer_on(&mut self, node: NodeId, delay: Dur, token: u64);
+    fn account(&mut self, id: KindId, kind: &'static str, bytes: usize);
+    fn note_retransmit(&mut self, id: KindId, kind: &'static str);
+}
+
 /// Kernel state shared by all handler invocations (event queue, clock,
 /// traffic stats, cost model).
 pub struct Kernel<N: NodeBehavior + ?Sized> {
@@ -134,6 +157,14 @@ pub struct Kernel<N: NodeBehavior + ?Sized> {
     pub(crate) stats: NetStats,
     model: CostModel,
     jitter: XorShift64,
+    /// PRNG for fault injection, independent of the jitter stream so a
+    /// fault plan never perturbs jitter decisions (and vice versa).
+    faults_rng: XorShift64,
+    /// Precomputed 53-bit thresholds for the fault draws.
+    drop_thr: u64,
+    dup_thr: u64,
+    spike_thr: u64,
+    faults_on: bool,
     pub(crate) app: Vec<AppSlot<N::Reply>>,
     nnodes: u32,
     events_processed: u64,
@@ -158,6 +189,15 @@ pub struct Kernel<N: NodeBehavior + ?Sized> {
 impl<N: NodeBehavior + ?Sized> Kernel<N> {
     pub(crate) fn new(nnodes: u32, model: CostModel) -> Self {
         let jitter = XorShift64::new(model.jitter_seed);
+        let faults_rng = XorShift64::new(model.faults.seed);
+        let drop_thr = FaultPlan::threshold(model.faults.drop_prob);
+        let dup_thr = FaultPlan::threshold(model.faults.dup_prob);
+        let spike_thr = if model.faults.spike_max > Dur::ZERO {
+            FaultPlan::threshold(model.faults.spike_prob)
+        } else {
+            0
+        };
+        let faults_on = model.faults.enabled();
         let min_net_delay = model.send_overhead
             + model.wire_latency
             + model.recv_overhead
@@ -169,6 +209,11 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
             stats: NetStats::new(),
             model,
             jitter,
+            faults_rng,
+            drop_thr,
+            dup_thr,
+            spike_thr,
+            faults_on,
             app: (0..nnodes).map(|_| AppSlot::default()).collect(),
             nnodes,
             events_processed: 0,
@@ -180,10 +225,54 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
         }
     }
 
-    /// Cap the number of events processed; exceeded means a protocol
-    /// livelock and the run panics with a diagnostic.
+    /// Cap the number of events processed; the driver treats exceeding
+    /// it as a protocol livelock and panics with a diagnostic dump.
     pub(crate) fn set_max_events(&mut self, max: u64) {
         self.max_events = max;
+    }
+
+    /// True once more events than the configured cap have been popped.
+    pub(crate) fn over_event_budget(&self) -> bool {
+        self.events_processed > self.max_events
+    }
+
+    pub(crate) fn max_events(&self) -> u64 {
+        self.max_events
+    }
+
+    pub(crate) fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    pub(crate) fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// One-line description of the next event in the heap, for the
+    /// progress watchdog's diagnostic dump.
+    pub(crate) fn peek_summary(&self) -> Option<String> {
+        self.heap.peek().map(|Reverse(e)| {
+            let what = match &e.event {
+                Event::Deliver { src, dst, .. } => format!("Deliver {src}→{dst}"),
+                Event::Resume { node } => format!("Resume {node}"),
+                Event::Timer { node, token } => format!("Timer {node} token={token:#x}"),
+            };
+            format!("{what} at t={}", e.time)
+        })
+    }
+
+    /// Short state tag for one node's program, for diagnostics.
+    pub(crate) fn app_state(&self, node: usize) -> &'static str {
+        let s = &self.app[node];
+        if s.finished {
+            "finished"
+        } else if s.pending_reply.is_some() {
+            "resuming"
+        } else if s.blocked {
+            "blocked"
+        } else {
+            "running"
+        }
     }
 
     pub(crate) fn schedule(&mut self, at: SimTime, event: Event<N::Msg>) {
@@ -205,12 +294,6 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
     pub(crate) fn pop(&mut self) -> Option<(SimTime, Event<N::Msg>)> {
         let Reverse(e) = self.heap.pop()?;
         self.events_processed += 1;
-        if self.events_processed > self.max_events {
-            panic!(
-                "kernel exceeded max_events={} at t={} — protocol livelock?",
-                self.max_events, self.now
-            );
-        }
         match &e.event {
             Event::Deliver { dst, .. } => {
                 let popped = self.direct_min[dst.index()].pop();
@@ -238,7 +321,9 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
     /// generated by processing some event at `heap top` or later and so
     /// cannot arrive before `heap top + min_net_delay`. One nanosecond
     /// is shaved off so locally serviced accesses stay strictly before
-    /// any handler the kernel has yet to run (see docs/PERF.md).
+    /// any handler the kernel has yet to run (see docs/PERF.md). Fault
+    /// injection never shortens a delivery (drops remove it, spikes
+    /// lengthen it), so the lookahead bound survives a lossy network.
     pub(crate) fn local_budget(&self, node: NodeId) -> Dur {
         let mut horizon = self.now.0.saturating_add(MAX_LOCAL_QUANTUM.0);
         if let Some(&Reverse(t)) = self.direct_min[node.index()].peek() {
@@ -267,6 +352,11 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
             .collect()
     }
 
+    /// One 53-bit fault draw (uniform in `[0, 2^53)`).
+    fn fault_draw(&mut self) -> u64 {
+        self.faults_rng.next_u64() >> 11
+    }
+
     fn send_inner(&mut self, src: NodeId, dst: NodeId, msg: N::Msg, extra: Dur) {
         let bytes = msg.wire_bytes();
         self.stats.record(msg.kind_id(), msg.kind(), bytes);
@@ -277,10 +367,38 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
         let depart_start = (self.now + extra).max(self.nic_free[src.index()]);
         let depart_end = depart_start + tx;
         self.nic_free[src.index()] = depart_end;
-        // Wire.
+        // Fault injection. Node-local sends never cross the lossy wire.
+        // The draw order is fixed (drop, then dup, then one spike draw
+        // per delivered copy) so runs are reproducible per seed. A
+        // dropped message still occupied the sender's NIC above: the
+        // packet left the host and died on the wire.
+        if self.faults_on && src != dst {
+            if self.fault_draw() < self.drop_thr {
+                self.stats.record_dropped(msg.kind_id(), msg.kind());
+                return;
+            }
+            if self.fault_draw() < self.dup_thr {
+                self.stats.record_duplicated(msg.kind_id(), msg.kind());
+                let copy = msg.clone();
+                self.deliver_copy(depart_end, src, dst, copy);
+            }
+        }
+        self.deliver_copy(depart_end, src, dst, msg);
+    }
+
+    /// Wire + receiver half of a delivery: jitter, delay spikes, and
+    /// inbound serialization, ending in a scheduled Deliver event.
+    fn deliver_copy(&mut self, depart_end: SimTime, src: NodeId, dst: NodeId, msg: N::Msg) {
         let mut arrive = depart_end + self.model.wire_latency;
         if self.model.jitter_max > Dur::ZERO {
             arrive += Dur::nanos(self.jitter.below(self.model.jitter_max.as_nanos()));
+        }
+        if self.faults_on && src != dst && self.spike_thr > 0 && self.fault_draw() < self.spike_thr
+        {
+            arrive += Dur::nanos(
+                self.faults_rng
+                    .below(self.model.faults.spike_max.as_nanos()),
+            );
         }
         // Receiver side: inbound messages are handled one at a time.
         let deliver = arrive.max(self.recv_free[dst.index()]) + self.model.recv_overhead;
@@ -289,17 +407,67 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
     }
 }
 
+impl<N: NodeBehavior + ?Sized> NetPort<N::Msg, N::Reply> for Kernel<N> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn nnodes(&self) -> u32 {
+        self.nnodes
+    }
+
+    fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    fn send_from(&mut self, src: NodeId, dst: NodeId, msg: N::Msg, extra: Dur) {
+        self.send_inner(src, dst, msg, extra);
+    }
+
+    fn complete_op_after(&mut self, node: NodeId, reply: N::Reply, delay: Dur) {
+        let slot = &mut self.app[node.index()];
+        assert!(
+            (slot.blocked || slot.in_op) && slot.pending_reply.is_none(),
+            "complete_op on {} with no parked op",
+            node
+        );
+        slot.blocked = false;
+        slot.pending_reply = Some(reply);
+        let at = self.now + delay;
+        self.schedule(at, Event::Resume { node });
+    }
+
+    fn op_parked(&self, node: NodeId) -> bool {
+        self.app[node.index()].blocked
+    }
+
+    fn set_timer_on(&mut self, node: NodeId, delay: Dur, token: u64) {
+        let at = self.now + delay;
+        self.schedule(at, Event::Timer { node, token });
+    }
+
+    fn account(&mut self, id: KindId, kind: &'static str, bytes: usize) {
+        self.stats.record(id, kind, bytes);
+    }
+
+    fn note_retransmit(&mut self, id: KindId, kind: &'static str) {
+        self.stats.record_retransmit(id, kind);
+    }
+}
+
 /// Handler context: everything a [`NodeBehavior`] may do to the world,
-/// bound to the node the current event belongs to.
+/// bound to the node the current event belongs to. Backed by a
+/// [`NetPort`]: the kernel directly, or a transport adapter translating
+/// sends (see [`crate::reliable`]).
 pub struct Ctx<'a, N: NodeBehavior + ?Sized> {
-    pub(crate) kernel: &'a mut Kernel<N>,
+    pub(crate) port: &'a mut (dyn NetPort<N::Msg, N::Reply> + 'a),
     pub(crate) node: NodeId,
 }
 
 impl<'a, N: NodeBehavior + ?Sized> Ctx<'a, N> {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.kernel.now()
+        self.port.now()
     }
 
     /// The node this handler is running on.
@@ -309,12 +477,12 @@ impl<'a, N: NodeBehavior + ?Sized> Ctx<'a, N> {
 
     /// Total number of nodes in the run.
     pub fn nodes(&self) -> u32 {
-        self.kernel.nnodes
+        self.port.nnodes()
     }
 
     /// The cost model in effect (for charging local costs).
     pub fn model(&self) -> &CostModel {
-        &self.kernel.model
+        self.port.model()
     }
 
     /// Send `msg` to `dst`; delivery is scheduled per the cost model.
@@ -322,12 +490,12 @@ impl<'a, N: NodeBehavior + ?Sized> Ctx<'a, N> {
     /// by managers colocated with a requester to keep counting honest —
     /// though colocated paths normally shortcut via direct calls).
     pub fn send(&mut self, dst: NodeId, msg: N::Msg) {
-        self.kernel.send_inner(self.node, dst, msg, Dur::ZERO);
+        self.port.send_from(self.node, dst, msg, Dur::ZERO);
     }
 
     /// Send with extra local serialization delay before the wire.
     pub fn send_after(&mut self, dst: NodeId, msg: N::Msg, extra: Dur) {
-        self.kernel.send_inner(self.node, dst, msg, extra);
+        self.port.send_from(self.node, dst, msg, extra);
     }
 
     /// Complete this node's parked application op immediately.
@@ -338,38 +506,22 @@ impl<'a, N: NodeBehavior + ?Sized> Ctx<'a, N> {
     /// Complete this node's parked application op after a local delay
     /// (e.g. installing a received page costs a memcpy).
     pub fn complete_op_after(&mut self, reply: N::Reply, delay: Dur) {
-        let slot = &mut self.kernel.app[self.node.index()];
-        assert!(
-            (slot.blocked || slot.in_op) && slot.pending_reply.is_none(),
-            "complete_op on {} with no parked op",
-            self.node
-        );
-        slot.blocked = false;
-        slot.pending_reply = Some(reply);
-        let at = self.kernel.now + delay;
-        self.kernel.schedule(at, Event::Resume { node: self.node });
+        self.port.complete_op_after(self.node, reply, delay);
     }
 
     /// True if this node's program is parked on an op.
     pub fn op_parked(&self) -> bool {
-        self.kernel.app[self.node.index()].blocked
+        self.port.op_parked(self.node)
     }
 
     /// Arrange for `on_timer(token)` on this node after `delay`.
     pub fn set_timer(&mut self, delay: Dur, token: u64) {
-        let at = self.kernel.now + delay;
-        self.kernel.schedule(
-            at,
-            Event::Timer {
-                node: self.node,
-                token,
-            },
-        );
+        self.port.set_timer_on(self.node, delay, token);
     }
 
     /// Record a pseudo message in the traffic stats without sending
     /// anything (used to account for piggybacked payloads).
     pub fn account(&mut self, id: crate::stats::KindId, kind: &'static str, bytes: usize) {
-        self.kernel.stats.record(id, kind, bytes);
+        self.port.account(id, kind, bytes);
     }
 }

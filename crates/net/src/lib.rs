@@ -23,6 +23,7 @@
 //! };
 //!
 //! // A one-message "protocol": ops are added remotely by node 0.
+//! #[derive(Clone)]
 //! enum M { Add(u64), Ack }
 //! impl Payload for M {
 //!     fn wire_bytes(&self) -> usize { 8 }
@@ -57,14 +58,16 @@ mod driver;
 mod kernel;
 mod model;
 mod msg;
+mod reliable;
 mod rng;
 mod stats;
 mod time;
 
-pub use driver::{AppHandle, RunResult, Sim};
+pub use driver::{AppHandle, RunResult, Sim, DEFAULT_STALL_WINDOW};
 pub use kernel::{Ctx, NodeBehavior, OpOutcome, MAX_LOCAL_QUANTUM};
-pub use model::CostModel;
+pub use model::{CostModel, FaultPlan};
 pub use msg::{Envelope, NodeId, Payload};
+pub use reliable::{wrap_fleet, RelConfig, RelMsg, Reliable, REL_TIMER_BIT};
 pub use rng::XorShift64;
 pub use stats::{KindId, KindStats, NetStats, MAX_KINDS};
 pub use time::{Dur, SimTime};

@@ -8,6 +8,81 @@
 
 use crate::time::Dur;
 
+/// Deterministic network fault injection: per-message drop and
+/// duplication probabilities plus bounded delay spikes, all driven by
+/// one seeded PRNG in the kernel so every faulty run is reproducible
+/// per seed.
+///
+/// Probabilities are plain `f64`s in `[0, 1]`; the kernel converts them
+/// to integer thresholds against a fixed-width PRNG draw, so equality
+/// of plan + seed gives bit-identical fault sequences on every
+/// platform. Node-local (self) sends are exempt: loopback does not
+/// cross the lossy wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that a message is lost on the wire.
+    pub drop_prob: f64,
+    /// Probability that a delivered message arrives twice.
+    pub dup_prob: f64,
+    /// Probability that a delivered copy suffers an extra delay spike.
+    pub spike_prob: f64,
+    /// Maximum extra delay of one spike (uniform in `[0, spike_max)`).
+    pub spike_max: Dur,
+    /// Seed for the fault PRNG (independent of the jitter PRNG).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// The reliable network: no drops, no duplicates, no spikes.
+    pub const NONE: FaultPlan = FaultPlan {
+        drop_prob: 0.0,
+        dup_prob: 0.0,
+        spike_prob: 0.0,
+        spike_max: Dur::ZERO,
+        seed: 1,
+    };
+
+    /// A lossy plan with the given drop and duplication probabilities
+    /// and no delay spikes.
+    pub fn lossy(drop_prob: f64, dup_prob: f64, seed: u64) -> Self {
+        FaultPlan {
+            drop_prob,
+            dup_prob,
+            spike_prob: 0.0,
+            spike_max: Dur::ZERO,
+            seed,
+        }
+    }
+
+    /// Add delay spikes: with probability `prob`, a delivered copy is
+    /// held back an extra uniform `[0, max)`.
+    pub fn with_spikes(mut self, prob: f64, max: Dur) -> Self {
+        self.spike_prob = prob;
+        self.spike_max = max;
+        self
+    }
+
+    /// True if any fault can actually fire. When false the kernel's
+    /// delivery path is byte-identical to the no-fault code.
+    pub fn enabled(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.dup_prob > 0.0
+            || (self.spike_prob > 0.0 && self.spike_max > Dur::ZERO)
+    }
+
+    /// Convert a probability to a 53-bit integer threshold; a PRNG draw
+    /// `next_u64() >> 11` is below it with probability ≈ `p`.
+    pub(crate) fn threshold(p: f64) -> u64 {
+        (p.clamp(0.0, 1.0) * (1u64 << 53) as f64) as u64
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::NONE
+    }
+}
+
 /// Cost parameters for one simulated machine room.
 #[derive(Debug, Clone)]
 pub struct CostModel {
@@ -32,6 +107,9 @@ pub struct CostModel {
     pub jitter_max: Dur,
     /// Seed for the jitter PRNG (runs are deterministic per seed).
     pub jitter_seed: u64,
+    /// Network fault injection (drops, duplicates, delay spikes).
+    /// [`FaultPlan::NONE`] reproduces the reliable network exactly.
+    pub faults: FaultPlan,
 }
 
 impl CostModel {
@@ -48,6 +126,7 @@ impl CostModel {
             mem_ns_per_byte: 10,
             jitter_max: Dur::ZERO,
             jitter_seed: 1,
+            faults: FaultPlan::NONE,
         }
     }
 
@@ -64,6 +143,7 @@ impl CostModel {
             mem_ns_per_byte: 10,
             jitter_max: Dur::ZERO,
             jitter_seed: 1,
+            faults: FaultPlan::NONE,
         }
     }
 
@@ -79,6 +159,7 @@ impl CostModel {
             mem_ns_per_byte: 1,
             jitter_max: Dur::ZERO,
             jitter_seed: 1,
+            faults: FaultPlan::NONE,
         }
     }
 
@@ -96,6 +177,7 @@ impl CostModel {
             mem_ns_per_byte: 0,
             jitter_max: Dur::ZERO,
             jitter_seed: 1,
+            faults: FaultPlan::NONE,
         }
     }
 
@@ -103,6 +185,12 @@ impl CostModel {
     pub fn with_jitter(mut self, max: Dur, seed: u64) -> Self {
         self.jitter_max = max;
         self.jitter_seed = seed;
+        self
+    }
+
+    /// Enable deterministic fault injection per `plan`.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -165,5 +253,26 @@ mod tests {
     fn mem_copy_scales() {
         let m = CostModel::cluster_modern();
         assert_eq!(m.mem_copy(4096), Dur::nanos(4096));
+    }
+
+    #[test]
+    fn fault_plan_enabled_logic() {
+        assert!(!FaultPlan::NONE.enabled());
+        assert!(FaultPlan::lossy(0.05, 0.0, 1).enabled());
+        assert!(FaultPlan::lossy(0.0, 0.1, 1).enabled());
+        // Spikes need a nonzero max to matter.
+        assert!(!FaultPlan::NONE.with_spikes(0.5, Dur::ZERO).enabled());
+        assert!(FaultPlan::NONE.with_spikes(0.5, Dur::micros(10)).enabled());
+    }
+
+    #[test]
+    fn fault_thresholds_span_the_draw_range() {
+        assert_eq!(FaultPlan::threshold(0.0), 0);
+        assert_eq!(FaultPlan::threshold(1.0), 1u64 << 53);
+        let half = FaultPlan::threshold(0.5);
+        assert_eq!(half, 1u64 << 52);
+        // Out-of-range probabilities clamp instead of wrapping.
+        assert_eq!(FaultPlan::threshold(7.0), 1u64 << 53);
+        assert_eq!(FaultPlan::threshold(-1.0), 0);
     }
 }

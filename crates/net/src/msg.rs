@@ -26,7 +26,11 @@ impl fmt::Display for NodeId {
 /// cost model adds a fixed per-message header). `kind` is a short label
 /// used to aggregate traffic statistics per message class, e.g.
 /// `"ReadReq"` or `"Diff"`.
-pub trait Payload: Send + 'static {
+///
+/// `Clone` is required so the network can duplicate a message in flight
+/// (fault injection) and the reliable transport can buffer a copy for
+/// retransmission; payloads are plain data, so a derive suffices.
+pub trait Payload: Send + Clone + 'static {
     /// Modeled body size in bytes.
     fn wire_bytes(&self) -> usize;
 
@@ -36,7 +40,8 @@ pub trait Payload: Send + 'static {
     /// Fixed statistics slot for this message class; must be below
     /// [`crate::stats::MAX_KINDS`] and in one-to-one correspondence
     /// with [`Payload::kind`]. Id ranges are assigned per layer:
-    /// coherence 0–31, synchronization 32–39, scratch/test 40–47.
+    /// coherence 0–31, synchronization 32–39, scratch/test 40–47,
+    /// reliable transport 48–55.
     fn kind_id(&self) -> KindId;
 }
 

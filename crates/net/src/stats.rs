@@ -10,9 +10,9 @@
 use std::fmt;
 
 /// Number of statistics slots. Kind ids are assigned statically per
-/// layer: coherence protocols use 0–31, synchronization 32–39, and
-/// scratch/test payloads 40–47.
-pub const MAX_KINDS: usize = 48;
+/// layer: coherence protocols use 0–31, synchronization 32–39,
+/// scratch/test payloads 40–47, and the reliable transport 48–55.
+pub const MAX_KINDS: usize = 56;
 
 /// Index of a message class in the fixed statistics table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,10 +33,21 @@ pub struct KindStats {
 }
 
 /// Aggregate network traffic for a run.
+///
+/// Besides the per-kind send counts, three fault-era counters ride in
+/// the same fixed-array style: messages the lossy network *dropped* or
+/// *duplicated* (charged by the kernel at delivery time) and messages
+/// the reliable transport *retransmitted* (charged by
+/// [`crate::Reliable`]). A retransmitted copy is also recorded as a
+/// normal send — it really crosses the wire again — so
+/// `total_msgs` reflects everything transmitted.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetStats {
     counts: [KindStats; MAX_KINDS],
     names: [Option<&'static str>; MAX_KINDS],
+    dropped: [u64; MAX_KINDS],
+    duplicated: [u64; MAX_KINDS],
+    retransmits: [u64; MAX_KINDS],
 }
 
 impl Default for NetStats {
@@ -44,6 +55,9 @@ impl Default for NetStats {
         NetStats {
             counts: [KindStats { count: 0, bytes: 0 }; MAX_KINDS],
             names: [None; MAX_KINDS],
+            dropped: [0; MAX_KINDS],
+            duplicated: [0; MAX_KINDS],
+            retransmits: [0; MAX_KINDS],
         }
     }
 }
@@ -57,6 +71,15 @@ impl NetStats {
     /// modeled body. O(1): a single array index.
     #[inline]
     pub fn record(&mut self, id: KindId, kind: &'static str, bytes: usize) {
+        let i = self.bind_name(id, kind);
+        let k = &mut self.counts[i];
+        k.count += 1;
+        k.bytes += bytes as u64;
+    }
+
+    /// Bind `id` to `kind`, checking the one-to-one id↔name mapping.
+    #[inline]
+    fn bind_name(&mut self, id: KindId, kind: &'static str) -> usize {
         let i = id.index();
         debug_assert!(
             self.names[i].is_none_or(|n| n == kind),
@@ -66,9 +89,30 @@ impl NetStats {
             kind
         );
         self.names[i] = Some(kind);
-        let k = &mut self.counts[i];
-        k.count += 1;
-        k.bytes += bytes as u64;
+        i
+    }
+
+    /// Record one message of class (`id`, `kind`) lost by the network.
+    #[inline]
+    pub fn record_dropped(&mut self, id: KindId, kind: &'static str) {
+        let i = self.bind_name(id, kind);
+        self.dropped[i] += 1;
+    }
+
+    /// Record one message of class (`id`, `kind`) duplicated in flight.
+    #[inline]
+    pub fn record_duplicated(&mut self, id: KindId, kind: &'static str) {
+        let i = self.bind_name(id, kind);
+        self.duplicated[i] += 1;
+    }
+
+    /// Record one retransmission of class (`id`, `kind`) by the
+    /// reliable transport (the resent copy is also recorded as a normal
+    /// send when it hits the wire).
+    #[inline]
+    pub fn record_retransmit(&mut self, id: KindId, kind: &'static str) {
+        let i = self.bind_name(id, kind);
+        self.retransmits[i] += 1;
     }
 
     /// Total messages across all classes.
@@ -79,6 +123,31 @@ impl NetStats {
     /// Total body bytes across all classes.
     pub fn total_bytes(&self) -> u64 {
         self.counts.iter().map(|k| k.bytes).sum()
+    }
+
+    /// Total messages lost by the network.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.iter().sum()
+    }
+
+    /// Total messages duplicated by the network.
+    pub fn total_duplicated(&self) -> u64 {
+        self.duplicated.iter().sum()
+    }
+
+    /// Total retransmissions performed by the reliable transport.
+    pub fn total_retransmits(&self) -> u64 {
+        self.retransmits.iter().sum()
+    }
+
+    /// Fault counters for one message class:
+    /// `(dropped, duplicated, retransmits)`; zero if never seen.
+    pub fn kind_faults(&self, kind: &str) -> (u64, u64, u64) {
+        self.names
+            .iter()
+            .position(|n| *n == Some(kind))
+            .map(|i| (self.dropped[i], self.duplicated[i], self.retransmits[i]))
+            .unwrap_or_default()
     }
 
     /// Stats for one message class (zero if never seen).
@@ -102,6 +171,29 @@ impl NetStats {
         seen.into_iter()
     }
 
+    /// Iterate per-class fault counters
+    /// (`name, sent, dropped, duplicated, retransmits`) in
+    /// deterministic (alphabetical) order.
+    pub fn iter_faults(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, KindStats, u64, u64, u64)> + '_ {
+        let mut seen: Vec<_> = (0..MAX_KINDS)
+            .filter_map(|i| {
+                self.names[i].map(|n| {
+                    (
+                        n,
+                        self.counts[i],
+                        self.dropped[i],
+                        self.duplicated[i],
+                        self.retransmits[i],
+                    )
+                })
+            })
+            .collect();
+        seen.sort_unstable_by_key(|(n, ..)| *n);
+        seen.into_iter()
+    }
+
     /// Fold another run's traffic into this one.
     pub fn merge(&mut self, other: &NetStats) {
         for i in 0..MAX_KINDS {
@@ -113,6 +205,9 @@ impl NetStats {
                 self.names[i] = Some(name);
                 self.counts[i].count += other.counts[i].count;
                 self.counts[i].bytes += other.counts[i].bytes;
+                self.dropped[i] += other.dropped[i];
+                self.duplicated[i] += other.duplicated[i];
+                self.retransmits[i] += other.retransmits[i];
             }
         }
     }
@@ -120,17 +215,43 @@ impl NetStats {
 
 impl fmt::Display for NetStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<18} {:>10} {:>12}", "kind", "msgs", "bytes")?;
-        for (kind, k) in self.iter() {
-            writeln!(f, "{:<18} {:>10} {:>12}", kind, k.count, k.bytes)?;
+        let faulty = self.total_dropped() + self.total_duplicated() + self.total_retransmits() > 0;
+        if faulty {
+            writeln!(
+                f,
+                "{:<18} {:>10} {:>12} {:>8} {:>8} {:>8}",
+                "kind", "msgs", "bytes", "dropped", "dup", "rexmit"
+            )?;
+            for (kind, k, d, u, r) in self.iter_faults() {
+                writeln!(
+                    f,
+                    "{:<18} {:>10} {:>12} {:>8} {:>8} {:>8}",
+                    kind, k.count, k.bytes, d, u, r
+                )?;
+            }
+            write!(
+                f,
+                "{:<18} {:>10} {:>12} {:>8} {:>8} {:>8}",
+                "TOTAL",
+                self.total_msgs(),
+                self.total_bytes(),
+                self.total_dropped(),
+                self.total_duplicated(),
+                self.total_retransmits()
+            )
+        } else {
+            writeln!(f, "{:<18} {:>10} {:>12}", "kind", "msgs", "bytes")?;
+            for (kind, k) in self.iter() {
+                writeln!(f, "{:<18} {:>10} {:>12}", kind, k.count, k.bytes)?;
+            }
+            write!(
+                f,
+                "{:<18} {:>10} {:>12}",
+                "TOTAL",
+                self.total_msgs(),
+                self.total_bytes()
+            )
         }
-        write!(
-            f,
-            "{:<18} {:>10} {:>12}",
-            "TOTAL",
-            self.total_msgs(),
-            self.total_bytes()
-        )
     }
 }
 
@@ -189,6 +310,45 @@ mod tests {
         s.record(X, "Beta", 2);
         let order: Vec<&str> = s.iter().map(|(n, _)| n).collect();
         assert_eq!(order, vec!["Alpha", "Beta"]);
+    }
+
+    #[test]
+    fn fault_counters_record_and_merge() {
+        let mut a = NetStats::new();
+        a.record(X, "X", 8);
+        a.record_dropped(X, "X");
+        a.record_duplicated(X, "X");
+        a.record_retransmit(X, "X");
+        a.record_retransmit(X, "X");
+        assert_eq!(a.kind_faults("X"), (1, 1, 2));
+        assert_eq!(a.kind_faults("absent"), (0, 0, 0));
+        let mut b = NetStats::new();
+        b.record_dropped(X, "X");
+        a.merge(&b);
+        assert_eq!(a.total_dropped(), 2);
+        assert_eq!(a.total_duplicated(), 1);
+        assert_eq!(a.total_retransmits(), 2);
+    }
+
+    #[test]
+    fn fault_counters_show_in_display_only_when_present() {
+        let mut s = NetStats::new();
+        s.record(X, "X", 8);
+        assert!(!format!("{s}").contains("rexmit"));
+        s.record_dropped(X, "X");
+        let text = format!("{s}");
+        assert!(text.contains("dropped"));
+        assert!(text.contains("rexmit"));
+    }
+
+    #[test]
+    fn fault_counters_affect_equality() {
+        let mut a = NetStats::new();
+        a.record(X, "X", 1);
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.record_dropped(X, "X");
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use dsm_net::{KindId, NodeId, Payload};
 use dsm_sync::SyncPiggy;
 
 /// Coherence protocol messages. Page ids travel as raw `usize`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum ProtoMsg {
     // ---- IVY write-invalidate (all manager schemes) ----
     /// Read fault: requester → manager (or probable-owner chain).
@@ -261,7 +261,7 @@ impl Payload for ProtoMsg {
 pub type EntryUpdateLog = Vec<(u64, Vec<(u32, PageDiff)>)>;
 
 /// Consistency payload piggybacked on synchronization messages.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Piggy {
     /// No consistency information.
     None,

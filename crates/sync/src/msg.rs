@@ -14,8 +14,10 @@ pub type LockId = u32;
 /// Barrier identifier.
 pub type BarrierId = u32;
 
-/// Opaque consistency payload carried on sync messages.
-pub trait SyncPiggy: Send + 'static {
+/// Opaque consistency payload carried on sync messages. `Clone` is
+/// required because sync messages are [`Payload`]s, which the network
+/// may duplicate and the reliable transport may buffer for resend.
+pub trait SyncPiggy: Send + Clone + 'static {
     /// The "no information" payload.
     fn empty() -> Self;
     /// Modeled wire size contribution.
@@ -30,7 +32,7 @@ impl SyncPiggy for () {
 }
 
 /// Messages exchanged by the lock and barrier engines.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum SyncMsg<P> {
     /// Requester → lock home. `reqinfo` lets the eventual granter
     /// compute a minimal piggyback (e.g. the acquirer's vector clock).
