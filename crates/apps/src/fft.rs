@@ -142,6 +142,10 @@ pub fn run(dsm: &Dsm<'_>, p: &FftParams) -> f64 {
     // scatters its own columns into B.
     let (blo, bhi) = block_range(p.cols, nodes, me);
     let mut bblock = vec![0.0f64; (bhi - blo) * p.rows * 2];
+    // The transpose streams sequentially through all of A: declare it
+    // as the read-ahead window so a batching runtime can prefetch the
+    // following rows' pages on every miss.
+    dsm.hint_range(GlobalAddr(0), p.n() * 16);
     for r in 0..p.rows {
         let arow = dsm.read_f64s(p.a_elem(r, 0), p.cols * 2);
         for br in blo..bhi {
@@ -149,6 +153,7 @@ pub fn run(dsm: &Dsm<'_>, p: &FftParams) -> f64 {
             bblock[(br - blo) * p.rows * 2 + 2 * r + 1] = arow[2 * br + 1];
         }
     }
+    dsm.clear_hint();
     if bhi > blo {
         dsm.write_f64s(p.b_elem(blo, 0), &bblock);
     }

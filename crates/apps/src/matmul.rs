@@ -58,6 +58,9 @@ pub fn run(dsm: &Dsm<'_>, p: &MatmulParams) -> f64 {
     dsm.barrier(0);
 
     // C[r] = sum_k A[r][k] * B[k]; read B rows on demand (they cache).
+    // B is streamed in k-order, so declare it as the read-ahead window:
+    // a miss on one B row lets a batching runtime prefetch the next.
+    dsm.hint_range(GlobalAddr(n * n * 8), n * n * 8);
     for r in lo..hi {
         let arow = dsm.read_f64s(p.a_row(r), n);
         let mut crow = vec![0.0f64; n];
@@ -73,6 +76,7 @@ pub fn run(dsm: &Dsm<'_>, p: &MatmulParams) -> f64 {
         compute_flops(dsm, (2 * n * n) as u64);
         dsm.write_f64s(p.c_row(r), &crow);
     }
+    dsm.clear_hint();
     dsm.barrier(0);
 
     let mut sum = 0.0;

@@ -93,6 +93,10 @@ pub fn run(dsm: &Dsm<'_>, p: &SorParams) -> f64 {
     }
     dsm.barrier(0);
 
+    // Every color sweep streams rows lo-1..=hi in order (each row plus
+    // its neighbors): declare that neighborhood as the read-ahead
+    // window so a boundary-row miss can prefetch the rows behind it.
+    dsm.hint_range(p.row_addr(lo - 1), (hi - lo + 2) * n * 8);
     for _ in 0..p.iters {
         for color in 0..2 {
             for r in lo..hi {
@@ -106,6 +110,7 @@ pub fn run(dsm: &Dsm<'_>, p: &SorParams) -> f64 {
             dsm.barrier(0);
         }
     }
+    dsm.clear_hint();
 
     let mut sum = 0.0;
     for r in lo..hi {

@@ -23,6 +23,8 @@ struct Args {
     lock: LockKind,
     barrier: BarrierKind,
     fast_path: bool,
+    batch_depth: usize,
+    quantum_us: u64,
     drop_prob: f64,
     dup_prob: f64,
     fault_seed: u64,
@@ -39,6 +41,8 @@ fn parse_args() -> Result<Args, String> {
         lock: LockKind::Queue,
         barrier: BarrierKind::Central,
         fast_path: true,
+        batch_depth: 1,
+        quantum_us: 0, // 0 = keep the built-in MAX_LOCAL_QUANTUM
         drop_prob: 0.0,
         dup_prob: 0.0,
         fault_seed: 1,
@@ -93,6 +97,8 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--no-fast-path" => args.fast_path = false,
+            "--batch-depth" => args.batch_depth = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--quantum-us" => args.quantum_us = val()?.parse().map_err(|e| format!("{e}"))?,
             "--drop-prob" => args.drop_prob = val()?.parse().map_err(|e| format!("{e}"))?,
             "--dup-prob" => args.dup_prob = val()?.parse().map_err(|e| format!("{e}"))?,
             "--fault-seed" => args.fault_seed = val()?.parse().map_err(|e| format!("{e}"))?,
@@ -110,22 +116,29 @@ fn main() {
             eprintln!(
                 "usage: dsmrun --app <name> --proto <name> [--nodes N] [--page B] \
                  [--size S] [--placement P] [--lock K] [--barrier K] \
-                 [--no-fast-path] [--drop-prob P] [--dup-prob P] [--fault-seed S] | --list"
+                 [--no-fast-path] [--batch-depth D] [--quantum-us U] \
+                 [--drop-prob P] [--dup-prob P] [--fault-seed S] | --list"
             );
             std::process::exit(2);
         }
     };
 
     let base = |heap: usize| {
-        DsmConfig::new(a.nodes, a.proto)
+        let cfg = DsmConfig::new(a.nodes, a.proto)
             .heap_bytes(heap)
             .page_size(a.page)
             .placement(a.placement)
             .lock_kind(a.lock)
             .barrier_kind(a.barrier)
             .fast_path(a.fast_path)
+            .batch_depth(a.batch_depth)
             .max_events(2_000_000_000)
-            .faults(FaultPlan::lossy(a.drop_prob, a.dup_prob, a.fault_seed))
+            .faults(FaultPlan::lossy(a.drop_prob, a.dup_prob, a.fault_seed));
+        if a.quantum_us > 0 {
+            cfg.local_quantum(Dur::micros(a.quantum_us))
+        } else {
+            cfg
+        }
     };
 
     let (end, stats, verdict) = match a.app.as_str() {
@@ -251,6 +264,17 @@ fn main() {
         a.page,
         a.placement
     );
+    if a.batch_depth > 1 || a.quantum_us > 0 {
+        println!(
+            "pipeline: batch-depth={} quantum={}",
+            a.batch_depth,
+            if a.quantum_us > 0 {
+                format!("{}us", a.quantum_us)
+            } else {
+                "default".into()
+            }
+        );
+    }
     if a.drop_prob > 0.0 || a.dup_prob > 0.0 {
         println!(
             "faults: drop={} dup={} seed={} (reliable transport engaged)",

@@ -1,0 +1,11 @@
+//! Regenerates one experiment table (see EXPERIMENTS.md). `--quick`
+//! runs the reduced-size variant.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        dsm_bench::Scale::Quick
+    } else {
+        dsm_bench::Scale::Full
+    };
+    dsm_bench::experiments::e17_batching(scale);
+}

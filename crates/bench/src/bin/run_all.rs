@@ -1,10 +1,30 @@
-//! Regenerate every experiment table. `--quick` for the fast variant.
+//! Regenerate every experiment table. `--quick` for the fast variant;
+//! `--json` additionally writes one `BENCH_<exp>.json` per instrumented
+//! experiment (completion time, messages, bytes per configuration) into
+//! the current directory.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let json = std::env::args().any(|a| a == "--json");
     let scale = if quick {
         dsm_bench::Scale::Quick
     } else {
         dsm_bench::Scale::Full
     };
+    if json {
+        dsm_bench::json::enable();
+    }
     dsm_bench::run_all(scale);
+    if json {
+        match dsm_bench::json::write_all(std::path::Path::new(".")) {
+            Ok(files) => {
+                for f in files {
+                    eprintln!("wrote {f}");
+                }
+            }
+            Err(e) => {
+                eprintln!("run_all: failed to write JSON output: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

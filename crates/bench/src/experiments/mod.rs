@@ -4,12 +4,14 @@
 //! thin wrappers.
 
 mod ablation;
+mod batching;
 mod faults;
 mod memory;
 mod scaling;
 mod sync_and_vm;
 
 pub use ablation::{e13_nic_ablation, e14_lrc_lock_ablation};
+pub use batching::e17_batching;
 pub use faults::e16_faults;
 pub use memory::{e05_false_sharing, e06_erc_vs_lrc, e09_diffs};
 pub use scaling::{
@@ -52,4 +54,5 @@ pub fn run_all(scale: Scale) {
     e14_lrc_lock_ablation(scale);
     e15_fft(scale);
     e16_faults(scale);
+    e17_batching(scale);
 }

@@ -96,7 +96,7 @@ fn speedup_sweep<F>(
 {
     speedup_sweep_model(
         title,
-        scale,
+        &node_counts(scale),
         protos,
         heap,
         page,
@@ -109,7 +109,7 @@ fn speedup_sweep<F>(
 #[allow(clippy::too_many_arguments)]
 fn speedup_sweep_model<F>(
     title: &str,
-    scale: Scale,
+    ns: &[u32],
     protos: &[ProtocolKind],
     heap: usize,
     page: usize,
@@ -119,11 +119,11 @@ fn speedup_sweep_model<F>(
 ) where
     F: Fn(&Dsm<'_>) + Send + Sync + Copy,
 {
-    let ns = node_counts(scale);
+    let exp = crate::json::slug(title);
     // times[pi][xi] in ms.
     let mut times: Vec<Vec<f64>> = vec![Vec::new(); protos.len()];
     let mut msgs: Vec<Series> = protos.iter().map(|p| Series::new(p.name())).collect();
-    for &n in &ns {
+    for &n in ns {
         for (pi, &proto) in protos.iter().enumerate() {
             let cfg = DsmConfig::new(n, proto)
                 .heap_bytes(heap)
@@ -132,6 +132,7 @@ fn speedup_sweep_model<F>(
                 .model(model.clone())
                 .max_events(400_000_000);
             let res = dsm_core::run_dsm(&cfg, app);
+            crate::json::record_run(&exp, &format!("{} nodes={n}", proto.name()), &res);
             times[pi].push(res.end_time.as_millis_f64());
             msgs[pi].push(res.stats.total_msgs() as f64);
         }
@@ -148,13 +149,23 @@ fn speedup_sweep_model<F>(
             s
         })
         .collect();
-    print_table(&format!("{title} — speedup"), "nodes", &xs_of(&ns), &speed);
+    print_table(&format!("{title} — speedup"), "nodes", &xs_of(ns), &speed);
     print_table(
         &format!("{title} — total messages"),
         "nodes",
-        &xs_of(&ns),
+        &xs_of(ns),
         &msgs,
     );
+}
+
+/// The large-scale point for the headline scaling sweeps, now that the
+/// fast path makes N=128 affordable.
+fn node_counts_wide(scale: Scale) -> Vec<u32> {
+    let mut ns = node_counts(scale);
+    if scale == Scale::Full {
+        ns.push(128);
+    }
+    ns
 }
 
 /// E2 — red-black SOR speedup per protocol (IVY-style stencil result:
@@ -174,14 +185,16 @@ pub fn e02_sor(scale: Scale) {
         ProtocolKind::Migrate,
     ];
     // Block placement: a node's rows are homed where they are computed,
-    // as any real array layout would arrange.
-    speedup_sweep(
+    // as any real array layout would arrange. The sweep runs out to
+    // N=128 at full scale.
+    speedup_sweep_model(
         "E2: SOR",
-        scale,
+        &node_counts_wide(scale),
         &protos,
         p.heap_bytes(),
         4096,
         Placement::Block,
+        dsm_core::CostModel::lan_1992(),
         move |dsm: &Dsm<'_>| {
             sor::run(dsm, &p);
         },
@@ -200,13 +213,14 @@ pub fn e03_matmul(scale: Scale) {
         ProtocolKind::Update,
         ProtocolKind::Migrate,
     ];
-    speedup_sweep(
+    speedup_sweep_model(
         "E3: MatMul",
-        scale,
+        &node_counts_wide(scale),
         &protos,
         p.heap_bytes(),
         4096,
         Placement::Block,
+        dsm_core::CostModel::lan_1992(),
         move |dsm: &Dsm<'_>| {
             matmul::run(dsm, &p);
         },
@@ -264,7 +278,7 @@ pub fn e15_fft(scale: Scale) {
     ] {
         speedup_sweep_model(
             &format!("E15: FFT (2-D decomposition), {label}"),
-            scale,
+            &node_counts(scale),
             &protos,
             p.heap_bytes(),
             2048,

@@ -6,6 +6,7 @@
 //! machinery, real page faults, kernel throughput).
 
 pub mod experiments;
+pub mod json;
 pub mod table;
 
 pub use experiments::{run_all, Scale};

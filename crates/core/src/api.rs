@@ -13,6 +13,7 @@ use crate::node::{DsmOp, DsmReply, OpBuf, OpData};
 use dsm_mem::GlobalAddr;
 use dsm_net::{AppHandle, Dur, NodeId, SimTime};
 use dsm_sync::{BarrierId, LockId};
+use std::cell::Cell;
 
 /// A node program's view of the distributed shared memory.
 ///
@@ -22,6 +23,9 @@ use dsm_sync::{BarrierId, LockId};
 pub struct Dsm<'a> {
     h: &'a AppHandle<DsmOp, DsmReply>,
     lease: Option<Lease>,
+    /// Declared read-ahead window, attached to every read op until
+    /// changed or cleared (see [`Dsm::hint_range`]).
+    hint: Cell<Option<(GlobalAddr, usize)>>,
 }
 
 impl<'a> Dsm<'a> {
@@ -29,11 +33,34 @@ impl<'a> Dsm<'a> {
     /// path. The runtime normally builds handles via
     /// [`crate::run_dsm`], which attaches leases.
     pub fn new(h: &'a AppHandle<DsmOp, DsmReply>) -> Self {
-        Dsm { h, lease: None }
+        Dsm {
+            h,
+            lease: None,
+            hint: Cell::new(None),
+        }
     }
 
     pub(crate) fn with_lease(h: &'a AppHandle<DsmOp, DsmReply>, lease: Option<Lease>) -> Self {
-        Dsm { h, lease }
+        Dsm {
+            h,
+            lease,
+            hint: Cell::new(None),
+        }
+    }
+
+    /// Declare `[addr, addr + len)` as a sequential read-ahead window:
+    /// until replaced or cleared, a read miss inside it lets the runtime
+    /// offer the window's following pages to the protocol as prefetch
+    /// candidates, batching up to `DsmConfig::batch_depth` page faults
+    /// into one rendezvous. Purely advisory — results are identical
+    /// with or without hints, and at batch depth 1 hints are ignored.
+    pub fn hint_range(&self, addr: GlobalAddr, len: usize) {
+        self.hint.set(Some((addr, len)));
+    }
+
+    /// Drop the current read-ahead window.
+    pub fn clear_hint(&self) {
+        self.hint.set(None);
     }
 
     /// This node's id.
@@ -76,6 +103,7 @@ impl<'a> Dsm<'a> {
         self.h.op(DsmOp::Read {
             addr,
             buf: OpBuf::new(buf),
+            hint: self.hint.get(),
         });
     }
 

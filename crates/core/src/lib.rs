@@ -36,6 +36,11 @@ pub use dsm_net::{CostModel, Dur, FaultPlan, NetStats, NodeId, RunResult, SimTim
 pub use dsm_proto::{EntryBinding, ProtocolKind};
 pub use dsm_sync::{BarrierId, BarrierKind, LockId, LockKind};
 
+/// Hard cap on [`DsmConfig::batch_depth`]: beyond eight pages per
+/// batched fault the rendezvous saving is negligible while the risk of
+/// fetching pages the program never touches grows.
+pub const MAX_BATCH_DEPTH: usize = 8;
+
 /// Full configuration of one DSM machine.
 #[derive(Debug, Clone)]
 pub struct DsmConfig {
@@ -60,6 +65,16 @@ pub struct DsmConfig {
     /// force every access through the op path — timing and outputs
     /// are identical either way, only wall-clock changes.
     pub fast_path: bool,
+    /// Max pages fetched per read fault (demand + prefetches from the
+    /// declared read-ahead window or the op's own range), clamped to
+    /// `1..=`[`MAX_BATCH_DEPTH`]. Depth 1 (the default) disables the
+    /// batched fault pipeline and is bit-identical to the pre-pipeline
+    /// runtime.
+    pub batch_depth: usize,
+    /// Cap on per-grant program run-ahead (the lease quantum). A pure
+    /// wall-clock knob: virtual-time results are identical for any
+    /// positive value. Defaults to [`dsm_net::MAX_LOCAL_QUANTUM`].
+    pub local_quantum: Dur,
 }
 
 impl DsmConfig {
@@ -79,6 +94,8 @@ impl DsmConfig {
             max_events: 200_000_000,
             stall_window: dsm_net::DEFAULT_STALL_WINDOW,
             fast_path: true,
+            batch_depth: 1,
+            local_quantum: dsm_net::MAX_LOCAL_QUANTUM,
         }
     }
 
@@ -141,6 +158,20 @@ impl DsmConfig {
         self
     }
 
+    /// Set the batched fault pipeline depth (clamped to
+    /// `1..=`[`MAX_BATCH_DEPTH`]).
+    pub fn batch_depth(mut self, depth: usize) -> Self {
+        self.batch_depth = depth.clamp(1, MAX_BATCH_DEPTH);
+        self
+    }
+
+    /// Set the run-ahead quantum cap (must be positive).
+    pub fn local_quantum(mut self, q: Dur) -> Self {
+        assert!(q > Dur::ZERO, "local quantum must be positive");
+        self.local_quantum = q;
+        self
+    }
+
     /// The space layout this configuration induces.
     pub fn layout(&self) -> SpaceLayout {
         SpaceLayout::new(
@@ -158,7 +189,14 @@ impl DsmConfig {
             .map(|i| {
                 let me = NodeId(i);
                 let proto = self.protocol.build(me, layout, &self.bindings);
-                DsmNode::new(me, layout, proto, self.lock_kind, self.barrier_kind)
+                DsmNode::new(
+                    me,
+                    layout,
+                    proto,
+                    self.lock_kind,
+                    self.barrier_kind,
+                    self.batch_depth,
+                )
             })
             .collect()
     }
@@ -189,11 +227,13 @@ where
         dsm_net::Sim::new(dsm_net::wrap_fleet(nodes, &cfg.model), cfg.model.clone())
             .max_events(cfg.max_events)
             .stall_window(cfg.stall_window)
+            .local_quantum(cfg.local_quantum)
             .run(programs)
     } else {
         dsm_net::Sim::new(nodes, cfg.model.clone())
             .max_events(cfg.max_events)
             .stall_window(cfg.stall_window)
+            .local_quantum(cfg.local_quantum)
             .run(programs)
     }
 }

@@ -7,9 +7,9 @@ use std::sync::Arc;
 
 use crate::lease::FrameCell;
 use crate::msg::CoreMsg;
-use dsm_mem::{FrameTable, GlobalAddr, SpaceLayout};
+use dsm_mem::{FrameTable, GlobalAddr, PageId, SpaceLayout};
 use dsm_net::{Ctx, Dur, NodeBehavior, NodeId, OpOutcome};
-use dsm_proto::{Piggy, ProtoEvent, ProtoIo, Protocol, WriteOutcome};
+use dsm_proto::{BatchingIo, Piggy, ProtoEvent, ProtoIo, ProtoMsg, Protocol, WriteOutcome};
 use dsm_sync::{
     BarrierEngine, BarrierEvent, BarrierId, LockEngine, LockEvent, LockId, ReleaseAction, SyncIo,
     SyncMsg,
@@ -97,8 +97,19 @@ impl OpData {
 /// Operations the application can issue against the shared space.
 #[derive(Debug)]
 pub enum DsmOp {
-    Read { addr: GlobalAddr, buf: OpBuf },
-    Write { addr: GlobalAddr, data: OpData },
+    Read {
+        addr: GlobalAddr,
+        buf: OpBuf,
+        /// Declared read-ahead window (see [`crate::Dsm::hint_range`]):
+        /// on a miss inside it, the runtime offers the following
+        /// not-yet-readable pages of the window to the protocol as
+        /// prefetch candidates, up to the configured batch depth.
+        hint: Option<(GlobalAddr, usize)>,
+    },
+    Write {
+        addr: GlobalAddr,
+        data: OpData,
+    },
     Acquire(LockId),
     Release(LockId),
     Barrier(BarrierId),
@@ -127,6 +138,7 @@ enum Pending {
         buf: OpBuf,
         pos: usize,
         faults: u32,
+        hint: Option<(GlobalAddr, usize)>,
     },
     Write {
         addr: GlobalAddr,
@@ -162,6 +174,14 @@ pub struct DsmNode {
     /// The current op faulted at least once → tell the protocol when it
     /// retires (single-writer protocols release deferred requests then).
     faulted: bool,
+    /// Max pages per batched read fault (demand + prefetches). Depth 1
+    /// disables the pipeline and takes the exact pre-batching code path.
+    batch_depth: usize,
+    /// The fault queue: pages with a read transaction in flight (the
+    /// demand page plus any prefetches issued with it). The parked read
+    /// completes only once this drains, so writes and sync ops never
+    /// start with faults outstanding.
+    inflight: Vec<usize>,
 }
 
 /// Adapter giving the protocol and sync engines access to the kernel
@@ -204,6 +224,7 @@ impl DsmNode {
         proto: Box<dyn Protocol>,
         lock_kind: dsm_sync::LockKind,
         barrier_kind: dsm_sync::BarrierKind,
+        batch_depth: usize,
     ) -> Self {
         let nnodes = layout.nnodes();
         DsmNode {
@@ -216,6 +237,8 @@ impl DsmNode {
             barriers: BarrierEngine::new(barrier_kind, me, nnodes),
             pending: Pending::None,
             faulted: false,
+            batch_depth: batch_depth.clamp(1, crate::MAX_BATCH_DEPTH),
+            inflight: Vec::new(),
         }
     }
 
@@ -243,7 +266,15 @@ impl DsmNode {
         if self.faulted {
             self.faulted = false;
             let mut io = Io { ctx };
-            self.proto.op_retired(&mut io, Self::mem(&self.frames));
+            if self.batch_depth > 1 {
+                // Confirmations for several pages retiring together ride
+                // one envelope per destination.
+                let mut bio = BatchingIo::new(&mut io);
+                self.proto.op_retired(&mut bio, Self::mem(&self.frames));
+                bio.flush();
+            } else {
+                self.proto.op_retired(&mut io, Self::mem(&self.frames));
+            }
         }
     }
 
@@ -371,6 +402,45 @@ impl DsmNode {
         (g.page_size() - g.offset_in_page(a)).min(len - pos)
     }
 
+    /// Pages offered to the protocol for one batched read fault: the
+    /// demand page (holding faulting address `a`) first, then up to
+    /// `batch_depth - 1` following pages of the read-ahead window that
+    /// are not yet readable and have no transaction in flight.
+    ///
+    /// The window is the op's declared hint when it covers `a` — a
+    /// sequential kernel marking the region it is streaming through —
+    /// and otherwise the op's own byte range `[addr, addr + len)`, so
+    /// multi-page reads self-prefetch their later pages.
+    fn prefetch_candidates(
+        &self,
+        a: GlobalAddr,
+        addr: GlobalAddr,
+        len: usize,
+        hint: Option<(GlobalAddr, usize)>,
+    ) -> Vec<PageId> {
+        let g = self.layout.geometry;
+        let demand = g.page_of(a);
+        let end = match hint {
+            Some((h, hlen)) if h.0 <= a.0 && a.0 < h.0 + hlen => h.0 + hlen,
+            _ => addr.0 + len,
+        };
+        let end = end.min(self.layout.total_bytes());
+        let mut out = vec![demand];
+        if end > a.0 {
+            let mem = Self::mem(&self.frames);
+            let last = g.page_of(GlobalAddr(end - 1)).0;
+            for p in demand.0 + 1..=last {
+                if out.len() >= self.batch_depth {
+                    break;
+                }
+                if !mem.access(PageId(p)).allows_read() && !self.inflight.contains(&p) {
+                    out.push(PageId(p));
+                }
+            }
+        }
+        out
+    }
+
     /// Drive the parked read/write forward, one page piece at a time.
     /// Completes the op when the last piece lands; otherwise leaves the
     /// op parked with a fault in flight.
@@ -382,9 +452,24 @@ impl DsmNode {
                     mut buf,
                     mut pos,
                     mut faults,
+                    hint,
                 } => {
                     let len = buf.len();
                     if pos >= len {
+                        if !self.inflight.is_empty() {
+                            // Prefetches still in flight: the op retires
+                            // only once the fault queue drains, so the
+                            // next op (possibly a write or sync) never
+                            // starts with read transactions outstanding.
+                            self.pending = Pending::Read {
+                                addr,
+                                buf,
+                                pos,
+                                faults,
+                                hint,
+                            };
+                            return;
+                        }
                         let cost =
                             self.install_cost(ctx) * faults as u64 + Self::access_cost(ctx, len);
                         ctx.complete_op_after(DsmReply::Unit, cost);
@@ -402,16 +487,42 @@ impl DsmNode {
                             buf,
                             pos,
                             faults,
+                            hint,
                         };
                         // Retire this page's transaction before touching
                         // the next page (no hold-and-wait).
                         self.retire_if_faulted(ctx);
                         continue;
                     }
+                    let page = self.layout.geometry.page_of(a);
+                    if self.inflight.contains(&page.0) {
+                        // A prefetch for this page is already in flight;
+                        // park until it lands instead of re-faulting.
+                        self.pending = Pending::Read {
+                            addr,
+                            buf,
+                            pos,
+                            faults,
+                            hint,
+                        };
+                        return;
+                    }
                     faults += 1;
                     self.faulted = true;
-                    let page = self.layout.geometry.page_of(a);
-                    let resolved = {
+                    let resolved = if self.batch_depth > 1 {
+                        let cands = self.prefetch_candidates(a, addr, len, hint);
+                        let (resolved, issued) = {
+                            let mut io = Io { ctx };
+                            self.proto
+                                .read_fault_batch(&mut io, Self::mem(&self.frames), &cands)
+                        };
+                        faults += issued.len() as u32;
+                        self.inflight.extend(issued.iter().map(|p| p.0));
+                        if !resolved {
+                            self.inflight.push(page.0);
+                        }
+                        resolved
+                    } else {
                         let mut io = Io { ctx };
                         self.proto
                             .read_fault(&mut io, Self::mem(&self.frames), page)
@@ -421,6 +532,7 @@ impl DsmNode {
                         buf,
                         pos,
                         faults,
+                        hint,
                     };
                     if !resolved {
                         return;
@@ -505,7 +617,10 @@ impl DsmNode {
     fn pump_proto_events(&mut self, ctx: &mut Ctx<'_, Self>, events: Vec<ProtoEvent>) {
         for ev in events {
             match ev {
-                ProtoEvent::PageReady(_) => {
+                ProtoEvent::PageReady(p) => {
+                    if let Some(i) = self.inflight.iter().position(|&q| q == p.0) {
+                        self.inflight.swap_remove(i);
+                    }
                     self.retry_pending_access(ctx);
                 }
                 ProtoEvent::WriteDone => {
@@ -566,7 +681,11 @@ impl NodeBehavior for DsmNode {
             self.pending
         );
         match op {
-            DsmOp::Read { addr, mut buf } => {
+            DsmOp::Read {
+                addr,
+                mut buf,
+                hint,
+            } => {
                 let len = buf.len();
                 assert!(
                     self.layout.in_bounds(addr, len),
@@ -582,6 +701,7 @@ impl NodeBehavior for DsmNode {
                     buf,
                     pos: 0,
                     faults: 0,
+                    hint,
                 };
                 self.retry_pending_access_entry(ctx)
             }
@@ -672,8 +792,32 @@ impl NodeBehavior for DsmNode {
                 let mut events = Vec::new();
                 {
                     let mut io = Io { ctx };
-                    self.proto
-                        .on_message(&mut io, Self::mem(&self.frames), from, m, &mut events);
+                    match m {
+                        // A multi-page envelope: dispatch the inner
+                        // messages in order, coalescing any replies they
+                        // generate per destination (a batch of requests
+                        // earns a batch of replies).
+                        ProtoMsg::Batch(msgs) => {
+                            let mut bio = BatchingIo::new(&mut io);
+                            for inner in msgs {
+                                self.proto.on_message(
+                                    &mut bio,
+                                    Self::mem(&self.frames),
+                                    from,
+                                    inner,
+                                    &mut events,
+                                );
+                            }
+                            bio.flush();
+                        }
+                        m => self.proto.on_message(
+                            &mut io,
+                            Self::mem(&self.frames),
+                            from,
+                            m,
+                            &mut events,
+                        ),
+                    }
                 }
                 self.pump_proto_events(ctx, events);
             }

@@ -33,33 +33,59 @@ impl PageDiff {
     /// Compare `twin` (the pristine snapshot) with `current` and encode
     /// the changed runs. Both slices must be the same length.
     pub fn create(twin: &[u8], current: &[u8]) -> PageDiff {
-        assert_eq!(twin.len(), current.len(), "twin/page size mismatch");
         let mut runs: Vec<Run> = Vec::new();
-        let mut i = 0;
+        PageDiff::scan_runs(twin, current, |offset, bytes| {
+            runs.push(Run {
+                offset: offset as u32,
+                bytes: bytes.to_vec(),
+            });
+        });
+        PageDiff { runs }
+    }
+
+    /// Walk the changed runs of `current` against `twin` without
+    /// building a diff: `f(offset, bytes)` is called once per run with
+    /// exactly the boundaries (including gap merging) that
+    /// [`PageDiff::create`] would encode. Returns the modeled wire
+    /// size. This is the allocation-free path for callers that apply
+    /// and account for a diff in one pass (the VM engine's barrier
+    /// flush).
+    pub fn scan_runs(twin: &[u8], current: &[u8], mut f: impl FnMut(usize, &[u8])) -> usize {
+        assert_eq!(twin.len(), current.len(), "twin/page size mismatch");
         let n = twin.len();
+        let mut i = 0;
+        let mut wire = 0;
         while i < n {
             if twin[i] == current[i] {
                 i += 1;
                 continue;
             }
             let start = i;
-            while i < n && twin[i] != current[i] {
-                i += 1;
-            }
-            // Merge with the previous run if the clean gap is tiny.
-            if let Some(last) = runs.last_mut() {
-                let last_end = last.offset as usize + last.bytes.len();
-                if start - last_end < MERGE_GAP {
-                    last.bytes.extend_from_slice(&current[last_end..i]);
+            let mut end = i;
+            while i < n {
+                if twin[i] != current[i] {
+                    i += 1;
+                    end = i;
                     continue;
                 }
+                // Clean byte: absorb the gap if more changes follow
+                // within MERGE_GAP (a run header costs more than tiny
+                // gaps are worth).
+                let gap_start = i;
+                let mut j = i;
+                while j < n && twin[j] == current[j] && j - gap_start < MERGE_GAP {
+                    j += 1;
+                }
+                if j < n && twin[j] != current[j] && j - gap_start < MERGE_GAP {
+                    i = j;
+                } else {
+                    break;
+                }
             }
-            runs.push(Run {
-                offset: start as u32,
-                bytes: current[start..i].to_vec(),
-            });
+            f(start, &current[start..end]);
+            wire += RUN_HEADER_BYTES + (end - start);
         }
-        PageDiff { runs }
+        wire
     }
 
     /// Overwrite `page` with this diff's runs.
@@ -197,6 +223,28 @@ mod tests {
         let db = PageDiff::create(&twin, &b);
         assert!(da.overlaps(&db));
         assert!(db.overlaps(&da));
+    }
+
+    #[test]
+    fn scan_runs_matches_create() {
+        // Mixed pattern: leading run, mergeable gap, separate run,
+        // trailing run at the page edge.
+        let twin = vec![0u8; 256];
+        let mut cur = twin.clone();
+        cur[0..5].fill(1);
+        cur[8] = 2; // gap 3 < MERGE_GAP: merges with the first run
+        cur[100..120].fill(3);
+        cur[255] = 4;
+        let d = PageDiff::create(&twin, &cur);
+        let mut page = twin.clone();
+        let wire = PageDiff::scan_runs(&twin, &cur, |off, bytes| {
+            page[off..off + bytes.len()].copy_from_slice(bytes);
+        });
+        assert_eq!(page, cur);
+        assert_eq!(wire, d.wire_bytes());
+        let mut count = 0;
+        PageDiff::scan_runs(&twin, &cur, |_, _| count += 1);
+        assert_eq!(count, d.run_count());
     }
 
     #[test]

@@ -167,6 +167,10 @@ pub struct RunResult<V> {
     pub finish_times: Vec<SimTime>,
     /// Aggregate network traffic.
     pub stats: NetStats,
+    /// Kernel→program floor handoffs performed over the whole run. Each
+    /// is one rendezvous (two channel hops of real time); the batched
+    /// fault pipeline exists to shrink this number.
+    pub rendezvous: u64,
     /// Per-node program return values.
     pub results: Vec<V>,
 }
@@ -183,6 +187,7 @@ pub struct Sim<N: NodeBehavior> {
     model: CostModel,
     max_events: u64,
     stall_window: Dur,
+    local_quantum: Dur,
 }
 
 impl<N: NodeBehavior> Sim<N> {
@@ -195,7 +200,19 @@ impl<N: NodeBehavior> Sim<N> {
             model,
             max_events: u64::MAX,
             stall_window: DEFAULT_STALL_WINDOW,
+            local_quantum: crate::kernel::MAX_LOCAL_QUANTUM,
         }
+    }
+
+    /// Cap on per-grant program run-ahead (defaults to
+    /// [`crate::kernel::MAX_LOCAL_QUANTUM`]). Larger quanta mean fewer
+    /// kernel rendezvous for compute-heavy programs; smaller quanta
+    /// tighten the `max_events` livelock guard. Purely a wall-clock
+    /// knob: virtual-time results are identical for any positive value.
+    pub fn local_quantum(mut self, q: Dur) -> Self {
+        assert!(q > Dur::ZERO, "local quantum must be positive");
+        self.local_quantum = q;
+        self
     }
 
     /// Panic (with a diagnostic dump) if more than `max` events are
@@ -231,12 +248,14 @@ impl<N: NodeBehavior> Sim<N> {
             model,
             max_events,
             stall_window,
+            local_quantum,
         } = self;
         let nnodes = nodes.len() as u32;
         assert_eq!(programs.len(), nodes.len(), "one program per node required");
 
         let mut kernel: Kernel<N> = Kernel::new(nnodes, model);
         kernel.set_max_events(max_events);
+        kernel.set_local_quantum(local_quantum);
 
         let mut go_txs = Vec::with_capacity(nodes.len());
         let mut yield_rxs = Vec::with_capacity(nodes.len());
@@ -360,6 +379,7 @@ impl<N: NodeBehavior> Sim<N> {
                                 Some(op) => op,
                                 None => {
                                     let budget = kernel.local_budget(node);
+                                    kernel.rendezvous += 1;
                                     go_txs[i]
                                         .send(Go {
                                             time: kernel.now(),
@@ -462,6 +482,7 @@ impl<N: NodeBehavior> Sim<N> {
                 end_time,
                 finish_times,
                 stats: kernel.stats.clone(),
+                rendezvous: kernel.rendezvous,
                 results,
             }
         })

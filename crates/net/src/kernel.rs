@@ -73,11 +73,13 @@ pub(crate) enum Event<M> {
     Timer { node: NodeId, token: u64 },
 }
 
-/// Upper bound on how far one program may run ahead of the kernel clock
-/// inside a single [`crate::driver::Go`] grant, even when the event
-/// queue is empty. Keeps the `max_events` livelock guard meaningful and
-/// bounds how long a spinning program can go without seeing newly
-/// delivered invalidations.
+/// Default upper bound on how far one program may run ahead of the
+/// kernel clock inside a single [`crate::driver::Go`] grant, even when
+/// the event queue is empty. Keeps the `max_events` livelock guard
+/// meaningful and bounds how long a spinning program can go without
+/// seeing newly delivered invalidations. Tunable per run via
+/// [`crate::driver::Sim::local_quantum`] (see docs/PERF.md for the
+/// sweep that picked this default).
 pub const MAX_LOCAL_QUANTUM: Dur = Dur::millis(1);
 
 struct HeapEntry<M> {
@@ -184,6 +186,11 @@ pub struct Kernel<N: NodeBehavior + ?Sized> {
     /// Minimum virtual-time distance between processing any event and a
     /// message it sends arriving anywhere: the PDES lookahead.
     min_net_delay: Dur,
+    /// Run-ahead quantum cap handed out by [`Kernel::local_budget`].
+    local_quantum: Dur,
+    /// Kernel→program floor handoffs (`Go` grants) performed so far —
+    /// the rendezvous count reported in run results.
+    pub(crate) rendezvous: u64,
 }
 
 impl<N: NodeBehavior + ?Sized> Kernel<N> {
@@ -222,7 +229,15 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
             recv_free: vec![SimTime::ZERO; nnodes as usize],
             direct_min: (0..nnodes).map(|_| BinaryHeap::new()).collect(),
             min_net_delay,
+            local_quantum: MAX_LOCAL_QUANTUM,
+            rendezvous: 0,
         }
+    }
+
+    /// Set the run-ahead quantum cap (defaults to
+    /// [`MAX_LOCAL_QUANTUM`]).
+    pub(crate) fn set_local_quantum(&mut self, q: Dur) {
+        self.local_quantum = q;
     }
 
     /// Cap the number of events processed; the driver treats exceeding
@@ -325,7 +340,7 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
     /// injection never shortens a delivery (drops remove it, spikes
     /// lengthen it), so the lookahead bound survives a lossy network.
     pub(crate) fn local_budget(&self, node: NodeId) -> Dur {
-        let mut horizon = self.now.0.saturating_add(MAX_LOCAL_QUANTUM.0);
+        let mut horizon = self.now.0.saturating_add(self.local_quantum.0);
         if let Some(&Reverse(t)) = self.direct_min[node.index()].peek() {
             horizon = horizon.min(t.0);
         }

@@ -23,6 +23,67 @@ pub trait ProtoIo {
     fn model(&self) -> &CostModel;
 }
 
+/// Per-destination send coalescer: buffers every `send` and, on
+/// [`BatchingIo::flush`], forwards each destination's messages as one
+/// [`ProtoMsg::Batch`] when there are two or more (single messages
+/// travel bare, keeping depth-1 traffic byte-identical to unbatched
+/// runs). Destinations flush in first-send order, and messages within a
+/// destination keep their send order, so batching never reorders the
+/// per-link stream.
+pub struct BatchingIo<'a> {
+    inner: &'a mut dyn ProtoIo,
+    buf: Vec<(NodeId, Vec<ProtoMsg>)>,
+}
+
+impl<'a> BatchingIo<'a> {
+    pub fn new(inner: &'a mut dyn ProtoIo) -> Self {
+        BatchingIo {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Forward everything buffered. Must be called before drop.
+    pub fn flush(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        for (dst, mut msgs) in buf {
+            if msgs.len() == 1 {
+                self.inner.send(dst, msgs.pop().expect("len checked"));
+            } else {
+                self.inner.send(dst, ProtoMsg::Batch(msgs));
+            }
+        }
+    }
+}
+
+impl Drop for BatchingIo<'_> {
+    fn drop(&mut self) {
+        debug_assert!(self.buf.is_empty(), "BatchingIo dropped without flush");
+    }
+}
+
+impl ProtoIo for BatchingIo<'_> {
+    fn me(&self) -> NodeId {
+        self.inner.me()
+    }
+    fn nodes(&self) -> u32 {
+        self.inner.nodes()
+    }
+    fn send(&mut self, dst: NodeId, msg: ProtoMsg) {
+        debug_assert!(
+            !matches!(msg, ProtoMsg::Batch(..)),
+            "nested Batch envelopes are not allowed"
+        );
+        match self.buf.iter_mut().find(|(d, _)| *d == dst) {
+            Some((_, msgs)) => msgs.push(msg),
+            None => self.buf.push((dst, vec![msg])),
+        }
+    }
+    fn model(&self) -> &CostModel {
+        self.inner.model()
+    }
+}
+
 /// Progress notifications from the protocol to the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtoEvent {
@@ -79,6 +140,34 @@ pub trait Protocol: Send {
     /// The application write-faulted on `page`. Same contract as
     /// [`Protocol::read_fault`].
     fn write_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool;
+
+    /// The application read-faulted on `pages[0]`; `pages[1..]` are
+    /// prefetch candidates from the same sequential access (pages the
+    /// runtime predicts it will read next, none currently readable).
+    /// Returns `(demand_resolved, issued)` where `demand_resolved` has
+    /// the [`Protocol::read_fault`] meaning for `pages[0]` and `issued`
+    /// lists the extra pages the protocol actually started a read
+    /// transaction for — each must eventually fire its own
+    /// [`ProtoEvent::PageReady`].
+    ///
+    /// Prefetched transactions must not be held open awaiting op
+    /// retirement (the runtime may be blocked on the demand page while
+    /// another node's progress depends on a prefetched one — classic
+    /// hold-and-wait); protocols that keep per-transaction server-side
+    /// state confirm prefetched pages immediately on arrival instead.
+    ///
+    /// The default ignores the candidates and degenerates to the
+    /// single-page [`Protocol::read_fault`] — correct (if unbatched)
+    /// for every protocol, and exactly what update/ERC/entry keep.
+    fn read_fault_batch(
+        &mut self,
+        io: &mut dyn ProtoIo,
+        mem: &mut FrameTable,
+        pages: &[PageId],
+    ) -> (bool, Vec<PageId>) {
+        debug_assert!(!pages.is_empty());
+        (self.read_fault(io, mem, pages[0]), Vec::new())
+    }
 
     /// An application write whose rights were insufficient. The default
     /// maps it onto [`Protocol::write_fault`] of the first offending

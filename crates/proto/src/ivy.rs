@@ -18,7 +18,7 @@
 //! transaction after performing its access so the manager can admit the
 //! next request without starving the current one.
 
-use crate::api::{ProtoEvent, ProtoIo, Protocol};
+use crate::api::{BatchingIo, ProtoEvent, ProtoIo, Protocol};
 use crate::msg::ProtoMsg;
 use dsm_mem::{Access, Directory, FrameTable, NodeSet, PageId, PendingReq, SpaceLayout};
 use dsm_net::NodeId;
@@ -35,7 +35,6 @@ pub enum ManagerScheme {
 /// One in-flight local fault.
 #[derive(Debug)]
 struct PendingFault {
-    page: usize,
     write: bool,
     /// Invalidation acks still outstanding.
     need_acks: u32,
@@ -45,6 +44,11 @@ struct PendingFault {
     /// An invalidation raced past the copy in flight (jittery
     /// networks); the copy must be re-requested on arrival.
     poisoned: bool,
+    /// A read-ahead fault issued alongside a demand fault. Confirms
+    /// immediately on arrival (manager schemes) instead of waiting for
+    /// op retirement, so a blocked demand access never holds another
+    /// page's manager entry locked (no hold-and-wait).
+    prefetch: bool,
 }
 
 /// IVY protocol state for one node.
@@ -60,8 +64,11 @@ pub struct Ivy {
     copyset: HashMap<usize, NodeSet>,
     /// Dynamic scheme: probable-owner hints (default: the page's home).
     prob_owner: HashMap<usize, NodeId>,
-    /// Current local fault, if any.
-    pending: Option<PendingFault>,
+    /// In-flight local faults by page. At most one *write* fault exists
+    /// at a time (the demand fault of a write op); several concurrent
+    /// *read* faults coexist when the runtime batches a demand read with
+    /// prefetches.
+    pending: HashMap<usize, PendingFault>,
     /// Manager schemes: pages whose transactions must be confirmed once
     /// the local access retires (one entry per faulted page of the
     /// current op), each with its write flag.
@@ -87,7 +94,7 @@ impl Ivy {
             owned,
             copyset: HashMap::new(),
             prob_owner: HashMap::new(),
-            pending: None,
+            pending: HashMap::new(),
             unconfirmed: Vec::new(),
             defer: HashSet::new(),
             queued: HashMap::new(),
@@ -117,31 +124,67 @@ impl Ivy {
         }
     }
 
-    fn start_fault(&mut self, page: usize, write: bool) {
-        assert!(
-            self.pending.is_none(),
-            "{} fault on p{page} while another fault is pending",
-            self.me
-        );
-        self.pending = Some(PendingFault {
+    fn start_fault(&mut self, page: usize, write: bool, prefetch: bool) {
+        if write {
+            assert!(
+                self.pending.is_empty(),
+                "{} write fault on p{page} while other faults are pending",
+                self.me
+            );
+        } else {
+            assert!(
+                !self.pending.contains_key(&page),
+                "{} read fault on p{page} while a fault on it is pending",
+                self.me
+            );
+        }
+        self.pending.insert(
             page,
-            write,
-            need_acks: 0,
-            acks: 0,
-            got_grant: false,
-            poisoned: false,
-        });
+            PendingFault {
+                write,
+                need_acks: 0,
+                acks: 0,
+                got_grant: false,
+                poisoned: false,
+                prefetch,
+            },
+        );
     }
 
-    fn maybe_finish_write(&mut self, mem: &mut FrameTable, events: &mut Vec<ProtoEvent>) {
+    fn maybe_finish_write(
+        &mut self,
+        mem: &mut FrameTable,
+        page: usize,
+        events: &mut Vec<ProtoEvent>,
+    ) {
         let done = matches!(
-            &self.pending,
+            self.pending.get(&page),
             Some(p) if p.write && p.got_grant && p.acks == p.need_acks
         );
         if done {
-            let p = self.pending.take().unwrap();
-            mem.set_access(PageId(p.page), Access::Write);
-            events.push(ProtoEvent::PageReady(PageId(p.page)));
+            self.pending.remove(&page);
+            mem.set_access(PageId(page), Access::Write);
+            events.push(ProtoEvent::PageReady(PageId(page)));
+        }
+    }
+
+    /// Requester-side transaction completion under the manager schemes:
+    /// tell the manager (possibly locally) so it can admit the next
+    /// queued request.
+    fn confirm(
+        &mut self,
+        io: &mut dyn ProtoIo,
+        mem: &mut FrameTable,
+        page: usize,
+        write: bool,
+        events: &mut Vec<ProtoEvent>,
+    ) {
+        let mgr = self.manager_of(page);
+        let owner = if write { self.me } else { NodeId(0) };
+        if mgr == self.me {
+            self.mgr_confirm(io, mem, page, owner, self.me, write, events);
+        } else {
+            io.send(mgr, ProtoMsg::Confirm { page, owner, write });
         }
     }
 
@@ -315,14 +358,13 @@ impl Ivy {
         data: Box<[u8]>,
         events: &mut Vec<ProtoEvent>,
     ) {
-        let poisoned = {
+        let (poisoned, prefetch) = {
             let pend = self
                 .pending
-                .as_mut()
+                .get_mut(&page)
                 .expect("PageRead with no pending fault");
-            assert_eq!(pend.page, page);
             assert!(!pend.write);
-            std::mem::take(&mut pend.poisoned)
+            (std::mem::take(&mut pend.poisoned), pend.prefetch)
         };
         if poisoned {
             // The copy we were sent was invalidated in flight; retry.
@@ -330,9 +372,10 @@ impl Ivy {
             return;
         }
         mem.install(PageId(page), data, Access::Read);
-        self.pending = None;
+        self.pending.remove(&page);
         match self.scheme {
             ManagerScheme::Dynamic => {}
+            _ if prefetch => self.confirm(io, mem, page, false, events),
             _ => self.unconfirmed.push((page, false)),
         }
         events.push(ProtoEvent::PageReady(PageId(page)));
@@ -352,9 +395,8 @@ impl Ivy {
         {
             let pend = self
                 .pending
-                .as_mut()
+                .get_mut(&page)
                 .expect("PageOwn with no pending fault");
-            assert_eq!(pend.page, page);
             assert!(pend.write);
             pend.got_grant = true;
         }
@@ -383,19 +425,42 @@ impl Ivy {
                     );
                     n += 1;
                 }
-                let pend = self.pending.as_mut().unwrap();
+                let pend = self.pending.get_mut(&page).unwrap();
                 pend.need_acks = n;
                 self.copyset.insert(page, NodeSet::singleton(self.me));
                 self.prob_owner.insert(page, self.me);
                 self.defer.insert(page);
             }
             _ => {
-                let pend = self.pending.as_mut().unwrap();
+                let pend = self.pending.get_mut(&page).unwrap();
                 pend.need_acks = ninval;
                 self.unconfirmed.push((page, true));
             }
         }
-        self.maybe_finish_write(mem, events);
+        self.maybe_finish_write(mem, page, events);
+    }
+
+    /// Route a read request for `page` (pending fault already started):
+    /// to the probable owner (dynamic), the remote manager, or the
+    /// local manager dispatch.
+    fn issue_read_request(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: usize) {
+        match self.scheme {
+            ManagerScheme::Dynamic => {
+                io.send(self.prob_owner_of(page), ProtoMsg::ReadReq { page });
+            }
+            _ => {
+                let mgr = self.manager_of(page);
+                if mgr == self.me {
+                    let mut events = Vec::new();
+                    self.mgr_request(io, mem, page, self.me, false, &mut events);
+                    // Local dispatch can't complete synchronously: the
+                    // owner is remote (we'd have read access otherwise).
+                    debug_assert!(events.is_empty());
+                } else {
+                    io.send(mgr, ProtoMsg::ReadReq { page });
+                }
+            }
+        }
     }
 
     fn reissue(&mut self, io: &mut dyn ProtoIo, page: usize, write: bool) {
@@ -435,10 +500,7 @@ impl Ivy {
         // Queue requests when we are (or are about to become) the owner
         // but the local access hasn't retired: ownership is in flight to
         // us, so forwarding would orbit the hint graph forever.
-        let becoming_owner = self
-            .pending
-            .as_ref()
-            .is_some_and(|p| p.page == page && p.write);
+        let becoming_owner = self.pending.get(&page).is_some_and(|p| p.write);
         if self.defer.contains(&page) || becoming_owner {
             self.queued
                 .entry(page)
@@ -521,26 +583,37 @@ impl Protocol for Ivy {
             debug_assert!(mem.access(page).allows_read());
             return true;
         }
-        self.start_fault(p, false);
-        match self.scheme {
-            ManagerScheme::Dynamic => {
-                io.send(self.prob_owner_of(p), ProtoMsg::ReadReq { page: p });
-                false
-            }
-            _ => {
-                let mgr = self.manager_of(p);
-                if mgr == self.me {
-                    let mut events = Vec::new();
-                    self.mgr_request(io, mem, p, self.me, false, &mut events);
-                    // Local dispatch can't complete synchronously: the
-                    // owner is remote (we'd have read access otherwise).
-                    debug_assert!(events.is_empty());
-                } else {
-                    io.send(mgr, ProtoMsg::ReadReq { page: p });
+        self.start_fault(p, false, false);
+        self.issue_read_request(io, mem, p);
+        false
+    }
+
+    fn read_fault_batch(
+        &mut self,
+        io: &mut dyn ProtoIo,
+        mem: &mut FrameTable,
+        pages: &[PageId],
+    ) -> (bool, Vec<PageId>) {
+        debug_assert!(!pages.is_empty());
+        if pages.len() == 1 {
+            return (self.read_fault(io, mem, pages[0]), Vec::new());
+        }
+        let mut bio = BatchingIo::new(io);
+        let resolved = self.read_fault(&mut bio, mem, pages[0]);
+        let mut issued = Vec::new();
+        if !resolved {
+            for &pg in &pages[1..] {
+                let p = pg.0;
+                if self.owned.contains(&p) || self.pending.contains_key(&p) {
+                    continue;
                 }
-                false
+                self.start_fault(p, false, true);
+                self.issue_read_request(&mut bio, mem, p);
+                issued.push(pg);
             }
         }
+        bio.flush();
+        (resolved, issued)
     }
 
     fn write_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
@@ -560,9 +633,9 @@ impl Protocol for Ivy {
                         self.copyset.insert(p, NodeSet::singleton(self.me));
                         return true;
                     }
-                    self.start_fault(p, true);
+                    self.start_fault(p, true, false);
                     {
-                        let pend = self.pending.as_mut().unwrap();
+                        let pend = self.pending.get_mut(&p).unwrap();
                         pend.got_grant = true;
                         pend.need_acks = members.len() as u32;
                     }
@@ -580,7 +653,7 @@ impl Protocol for Ivy {
                     false
                 }
                 _ => {
-                    self.start_fault(p, true);
+                    self.start_fault(p, true, false);
                     let mgr = self.manager_of(p);
                     if mgr == self.me {
                         let mut events = Vec::new();
@@ -596,7 +669,7 @@ impl Protocol for Ivy {
                 }
             }
         } else {
-            self.start_fault(p, true);
+            self.start_fault(p, true, false);
             match self.scheme {
                 ManagerScheme::Dynamic => {
                     io.send(self.prob_owner_of(p), ProtoMsg::WriteReq { page: p });
@@ -681,8 +754,8 @@ impl Protocol for Ivy {
                 // A racing invalidation may hit while our own copy is in
                 // flight (jittery networks); poison the pending fault so
                 // the stale copy is rejected on arrival.
-                if let Some(pend) = self.pending.as_mut() {
-                    if pend.page == page && !pend.write && !pend.got_grant {
+                if let Some(pend) = self.pending.get_mut(&page) {
+                    if !pend.write && !pend.got_grant {
                         pend.poisoned = true;
                     }
                 }
@@ -695,11 +768,10 @@ impl Protocol for Ivy {
             ProtoMsg::InvalAck { page } => {
                 let pend = self
                     .pending
-                    .as_mut()
+                    .get_mut(&page)
                     .expect("InvalAck with no pending fault");
-                assert_eq!(pend.page, page);
                 pend.acks += 1;
-                self.maybe_finish_write(mem, events);
+                self.maybe_finish_write(mem, page, events);
             }
             ProtoMsg::Confirm { page, owner, write } => {
                 self.mgr_confirm(io, mem, page, owner, from, write, events);
@@ -715,8 +787,10 @@ impl Protocol for Ivy {
         match self.scheme {
             ManagerScheme::Dynamic => {
                 // Release deferred requests for pages whose local access
-                // has now been performed.
-                let pages: Vec<usize> = self.defer.drain().collect();
+                // has now been performed. Sorted: HashSet iteration
+                // order is not deterministic across runs.
+                let mut pages: Vec<usize> = self.defer.drain().collect();
+                pages.sort_unstable();
                 for page in pages {
                     if let Some(reqs) = self.queued.remove(&page) {
                         for (requester, write) in reqs {
@@ -727,15 +801,9 @@ impl Protocol for Ivy {
             }
             _ => {
                 for (page, write) in std::mem::take(&mut self.unconfirmed) {
-                    let mgr = self.manager_of(page);
-                    let owner = if write { self.me } else { NodeId(0) };
-                    if mgr == self.me {
-                        let mut events = Vec::new();
-                        self.mgr_confirm(io, mem, page, owner, self.me, write, &mut events);
-                        debug_assert!(events.is_empty());
-                    } else {
-                        io.send(mgr, ProtoMsg::Confirm { page, owner, write });
-                    }
+                    let mut events = Vec::new();
+                    self.confirm(io, mem, page, write, &mut events);
+                    debug_assert!(events.is_empty());
                 }
             }
         }

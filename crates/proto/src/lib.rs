@@ -26,7 +26,7 @@ mod migrate;
 mod msg;
 mod update;
 
-pub use api::{ProtoEvent, ProtoIo, Protocol, WriteOutcome};
+pub use api::{BatchingIo, ProtoEvent, ProtoIo, Protocol, WriteOutcome};
 pub use entry::{Entry, EntryBinding};
 pub use erc::Erc;
 pub use ivy::{Ivy, ManagerScheme};

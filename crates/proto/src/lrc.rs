@@ -18,7 +18,7 @@
 //! where TreadMarks reconstructs from base + all diffs; and diff
 //! garbage collection is omitted (intervals are retained for the run).
 
-use crate::api::{ProtoEvent, ProtoIo, Protocol};
+use crate::api::{BatchingIo, ProtoEvent, ProtoIo, Protocol};
 use crate::msg::{Piggy, ProtoMsg};
 use dsm_mem::{
     Access, FrameTable, IntervalId, IntervalRecord, PageDiff, PageId, SpaceLayout, VClock,
@@ -30,7 +30,6 @@ use std::collections::HashMap;
 /// One in-flight local fault.
 #[derive(Debug)]
 struct LrcPending {
-    page: usize,
     write: bool,
     /// Reply messages still expected (diff batches + optional full page).
     awaiting: u32,
@@ -56,7 +55,11 @@ pub struct Lrc {
     log: HashMap<IntervalId, IntervalRecord>,
     /// Unapplied write notices per page.
     missing: HashMap<usize, Vec<IntervalId>>,
-    pending: Option<LrcPending>,
+    /// In-flight local faults by page. Several read faults coexist when
+    /// the runtime batches a demand fault with prefetch candidates;
+    /// serving nodes keep no per-transaction state, so no confirmation
+    /// protocol is needed.
+    pending: HashMap<usize, LrcPending>,
     /// Vector time as of the last barrier: every node provably holds
     /// every record at or below it, so barrier arrivals only carry
     /// records authored since (TreadMarks' barrier-time record GC).
@@ -75,7 +78,7 @@ impl Lrc {
             my_diffs: HashMap::new(),
             log: HashMap::new(),
             missing: HashMap::new(),
-            pending: None,
+            pending: HashMap::new(),
             barrier_vt: VClock::new(nnodes as usize),
         }
     }
@@ -158,6 +161,11 @@ impl Lrc {
         write: bool,
     ) -> bool {
         let p = page.0;
+        debug_assert!(
+            !self.pending.contains_key(&p),
+            "{} double fault on p{p}",
+            self.me
+        );
         let notices = self.missing.remove(&p).unwrap_or_default();
         let have_copy = mem.page_bytes(page).is_some();
 
@@ -182,13 +190,15 @@ impl Lrc {
                 }
                 return true;
             }
-            self.pending = Some(LrcPending {
-                page: p,
-                write,
-                awaiting: 1,
-                diffs: Vec::new(),
-                full: None,
-            });
+            self.pending.insert(
+                p,
+                LrcPending {
+                    write,
+                    awaiting: 1,
+                    diffs: Vec::new(),
+                    full: None,
+                },
+            );
             io.send(home, ProtoMsg::LrcPageReq { page: p });
             return false;
         }
@@ -240,13 +250,15 @@ impl Lrc {
                 awaiting += 1;
             }
         }
-        self.pending = Some(LrcPending {
-            page: p,
-            write,
-            awaiting,
-            diffs: Vec::new(),
-            full: None,
-        });
+        self.pending.insert(
+            p,
+            LrcPending {
+                write,
+                awaiting,
+                diffs: Vec::new(),
+                full: None,
+            },
+        );
         false
     }
 
@@ -263,15 +275,16 @@ impl Lrc {
         mem.set_access(PageId(page), Access::Write);
     }
 
-    /// A reply arrived; if the fault is fully served, reconstruct the
-    /// page and report readiness.
-    fn maybe_complete(&mut self, mem: &mut FrameTable, events: &mut Vec<ProtoEvent>) {
-        let done = matches!(&self.pending, Some(p) if p.awaiting == 0);
+    /// A reply arrived; if the fault on `page` is fully served,
+    /// reconstruct the page and report readiness.
+    fn maybe_complete(&mut self, mem: &mut FrameTable, page: usize, events: &mut Vec<ProtoEvent>) {
+        let done = matches!(self.pending.get(&page), Some(p) if p.awaiting == 0);
         if !done {
             return;
         }
-        let mut pend = self.pending.take().unwrap();
-        let page = PageId(pend.page);
+        let mut pend = self.pending.remove(&page).unwrap();
+        let p = page;
+        let page = PageId(page);
         if let Some(full) = pend.full.take() {
             mem.install(page, full, Access::Read);
         }
@@ -293,16 +306,16 @@ impl Lrc {
         }
         // Fold remote writes into a concurrent local twin so our own
         // diff stays disjoint.
-        if let Some(twin) = self.twins.get_mut(&pend.page) {
+        if let Some(twin) = self.twins.get_mut(&p) {
             for (_, diff) in &pend.diffs {
                 diff.apply(twin);
             }
         }
         mem.set_access(page, Access::Read);
-        if pend.write || self.twins.contains_key(&pend.page) {
+        if pend.write || self.twins.contains_key(&p) {
             // New writer, or still writing this page in the open
             // interval (twin() is idempotent).
-            self.twin(mem, pend.page);
+            self.twin(mem, p);
         }
         events.push(ProtoEvent::PageReady(page));
     }
@@ -325,6 +338,36 @@ impl Protocol for Lrc {
 
     fn write_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
         self.fault(io, mem, page, true)
+    }
+
+    fn read_fault_batch(
+        &mut self,
+        io: &mut dyn ProtoIo,
+        mem: &mut FrameTable,
+        pages: &[PageId],
+    ) -> (bool, Vec<PageId>) {
+        debug_assert!(!pages.is_empty());
+        if pages.len() == 1 {
+            return (self.read_fault(io, mem, pages[0]), Vec::new());
+        }
+        let mut bio = BatchingIo::new(io);
+        let resolved = self.fault(&mut bio, mem, pages[0], false);
+        let mut issued = Vec::new();
+        if !resolved {
+            for &pg in &pages[1..] {
+                if self.pending.contains_key(&pg.0) {
+                    continue;
+                }
+                // fault() may resolve a candidate synchronously (access
+                // upgrade, home-local first touch) — then there is
+                // nothing in flight and nothing to report.
+                if !self.fault(&mut bio, mem, pg, false) {
+                    issued.push(pg);
+                }
+            }
+        }
+        bio.flush();
+        (resolved, issued)
     }
 
     fn on_message(
@@ -352,11 +395,10 @@ impl Protocol for Lrc {
                 io.send(from, ProtoMsg::LrcPageRep { page, data });
             }
             ProtoMsg::LrcPageRep { page, data } => {
-                let pend = self.pending.as_mut().expect("unsolicited page");
-                assert_eq!(pend.page, page);
+                let pend = self.pending.get_mut(&page).expect("unsolicited page");
                 pend.full = Some(data);
                 pend.awaiting -= 1;
-                self.maybe_complete(mem, events);
+                self.maybe_complete(mem, page, events);
             }
             ProtoMsg::LrcDiffReq { page, ids } => {
                 let diffs: Vec<(IntervalId, PageDiff)> = ids
@@ -376,11 +418,10 @@ impl Protocol for Lrc {
                 io.send(from, ProtoMsg::LrcDiffRep { page, diffs });
             }
             ProtoMsg::LrcDiffRep { page, diffs } => {
-                let pend = self.pending.as_mut().expect("unsolicited diffs");
-                assert_eq!(pend.page, page);
+                let pend = self.pending.get_mut(&page).expect("unsolicited diffs");
                 pend.diffs.extend(diffs);
                 pend.awaiting -= 1;
-                self.maybe_complete(mem, events);
+                self.maybe_complete(mem, page, events);
             }
             other => {
                 panic!(

@@ -6,7 +6,7 @@
 //! the page, data and all, to the faulting node. The page's home tracks
 //! the current holder and serializes transfers.
 
-use crate::api::{ProtoEvent, ProtoIo, Protocol};
+use crate::api::{BatchingIo, ProtoEvent, ProtoIo, Protocol};
 use crate::msg::ProtoMsg;
 use dsm_mem::{Access, FrameTable, PageId, SpaceLayout};
 use dsm_net::NodeId;
@@ -27,8 +27,12 @@ pub struct Migrate {
     home: HashMap<usize, HomeEntry>,
     /// Pages currently resident here.
     resident: HashSet<usize>,
-    /// Local fault in flight.
-    pending: Option<usize>,
+    /// Local faults in flight: page → is-prefetch. Several coexist when
+    /// the runtime batches a demand fault with read-ahead candidates.
+    /// Prefetched pages confirm to their homes immediately on arrival
+    /// (no hold-and-wait while the demand access is still blocked);
+    /// demand pages confirm on op retirement as before.
+    pending: HashMap<usize, bool>,
     /// Pages to confirm to their homes once the local access retires.
     unconfirmed: Vec<usize>,
 }
@@ -44,7 +48,7 @@ impl Migrate {
             me,
             home: HashMap::new(),
             resident,
-            pending: None,
+            pending: HashMap::new(),
             unconfirmed: Vec::new(),
         }
     }
@@ -59,13 +63,23 @@ impl Migrate {
         }
     }
 
-    fn fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: usize) -> bool {
+    fn fault(
+        &mut self,
+        io: &mut dyn ProtoIo,
+        mem: &mut FrameTable,
+        page: usize,
+        prefetch: bool,
+    ) -> bool {
         if self.resident.contains(&page) {
             self.ensure_frame(mem, page);
             return true;
         }
-        assert!(self.pending.is_none(), "{} double fault", self.me);
-        self.pending = Some(page);
+        assert!(
+            !self.pending.contains_key(&page),
+            "{} double fault on p{page}",
+            self.me
+        );
+        self.pending.insert(page, prefetch);
         let home = self.home_of(page);
         if home == self.me {
             self.home_request(io, mem, page, self.me);
@@ -121,6 +135,23 @@ impl Migrate {
             self.home_request(io, mem, page, next);
         }
     }
+
+    /// Holder-side transaction completion: tell the page's home
+    /// (possibly locally) so it can admit the next queued request.
+    fn confirm(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: usize) {
+        let home = self.home_of(page);
+        if home == self.me {
+            self.home_confirm(io, mem, page, self.me);
+        } else {
+            io.send(
+                home,
+                ProtoMsg::MigConfirm {
+                    page,
+                    holder: self.me,
+                },
+            );
+        }
+    }
 }
 
 impl Protocol for Migrate {
@@ -129,11 +160,39 @@ impl Protocol for Migrate {
     }
 
     fn read_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
-        self.fault(io, mem, page.0)
+        self.fault(io, mem, page.0, false)
     }
 
     fn write_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
-        self.fault(io, mem, page.0)
+        self.fault(io, mem, page.0, false)
+    }
+
+    fn read_fault_batch(
+        &mut self,
+        io: &mut dyn ProtoIo,
+        mem: &mut FrameTable,
+        pages: &[PageId],
+    ) -> (bool, Vec<PageId>) {
+        debug_assert!(!pages.is_empty());
+        if pages.len() == 1 {
+            return (self.read_fault(io, mem, pages[0]), Vec::new());
+        }
+        let mut bio = BatchingIo::new(io);
+        let resolved = self.fault(&mut bio, mem, pages[0].0, false);
+        let mut issued = Vec::new();
+        if !resolved {
+            for &pg in &pages[1..] {
+                let p = pg.0;
+                if self.resident.contains(&p) || self.pending.contains_key(&p) {
+                    continue;
+                }
+                let r = self.fault(&mut bio, mem, p, true);
+                debug_assert!(!r, "non-resident page resolved synchronously");
+                issued.push(pg);
+            }
+        }
+        bio.flush();
+        (resolved, issued)
     }
 
     fn on_message(
@@ -153,10 +212,17 @@ impl Protocol for Migrate {
                 io.send(requester, ProtoMsg::MigPage { page, data });
             }
             ProtoMsg::MigPage { page, data } => {
-                assert_eq!(self.pending.take(), Some(page), "unexpected page arrival");
+                let prefetch = self.pending.remove(&page).expect("unexpected page arrival");
                 mem.install(PageId(page), data, Access::Write);
                 self.resident.insert(page);
-                self.unconfirmed.push(page);
+                if prefetch {
+                    // Prefetched migrations unlock the home entry right
+                    // away; waiting for the (blocked) demand access to
+                    // retire would reintroduce hold-and-wait.
+                    self.confirm(io, mem, page);
+                } else {
+                    self.unconfirmed.push(page);
+                }
                 events.push(ProtoEvent::PageReady(PageId(page)));
             }
             ProtoMsg::MigConfirm { page, holder } => {
@@ -173,18 +239,7 @@ impl Protocol for Migrate {
 
     fn op_retired(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable) {
         for page in std::mem::take(&mut self.unconfirmed) {
-            let home = self.home_of(page);
-            if home == self.me {
-                self.home_confirm(io, mem, page, self.me);
-            } else {
-                io.send(
-                    home,
-                    ProtoMsg::MigConfirm {
-                        page,
-                        holder: self.me,
-                    },
-                );
-            }
+            self.confirm(io, mem, page);
         }
     }
 }

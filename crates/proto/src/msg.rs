@@ -153,6 +153,15 @@ pub enum ProtoMsg {
         page: usize,
         data: Box<[u8]>,
     },
+
+    // ---- multi-page envelope ----
+    /// Several coherence messages for the same destination in one
+    /// network message (batched fault pipeline). The envelope pays one
+    /// per-message software overhead + header where its contents would
+    /// have paid N; its body is priced as the sum of the inner bodies.
+    /// Only ever built with ≥ 2 inner messages — single messages travel
+    /// bare, so depth-1 runs are byte-identical to unbatched ones.
+    Batch(Vec<ProtoMsg>),
 }
 
 impl Payload for ProtoMsg {
@@ -187,6 +196,7 @@ impl Payload for ProtoMsg {
             LrcDiffRep { diffs, .. } => {
                 8 + diffs.iter().map(|(_, d)| 8 + d.wire_bytes()).sum::<usize>()
             }
+            Batch(msgs) => msgs.iter().map(|m| m.wire_bytes()).sum(),
         }
     }
 
@@ -219,6 +229,7 @@ impl Payload for ProtoMsg {
             LrcDiffRep { .. } => "LrcDiffRep",
             LrcPageReq { .. } => "LrcPageReq",
             LrcPageRep { .. } => "LrcPageRep",
+            Batch(..) => "Batch",
         }
     }
 
@@ -251,6 +262,7 @@ impl Payload for ProtoMsg {
             LrcDiffRep { .. } => 23,
             LrcPageReq { .. } => 24,
             LrcPageRep { .. } => 25,
+            Batch(..) => 26,
         })
     }
 }
@@ -385,6 +397,21 @@ mod tests {
         assert_eq!(p.wire_bytes(), 12 + 8 + dw);
         let vc = VClock::new(8);
         assert_eq!(Piggy::LrcClock(vc).wire_bytes(), 32);
+    }
+
+    #[test]
+    fn batch_costs_sum_of_inner_bodies() {
+        let m = ProtoMsg::Batch(vec![
+            ProtoMsg::ReadReq { page: 1 },
+            ProtoMsg::ReadReq { page: 2 },
+            ProtoMsg::Inval {
+                page: 3,
+                new_owner: NodeId(0),
+            },
+        ]);
+        assert_eq!(m.wire_bytes(), 8 + 8 + 12);
+        assert_eq!(m.kind(), "Batch");
+        assert_eq!(m.kind_id(), KindId(26));
     }
 
     #[test]

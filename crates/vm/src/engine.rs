@@ -28,7 +28,6 @@
 
 use crate::region::{os_page_size, Prot, Region};
 use dsm_mem::PageDiff;
-use std::collections::HashMap;
 use std::io::Read;
 use std::mem::{align_of, size_of};
 use std::os::fd::{FromRawFd, OwnedFd};
@@ -97,6 +96,15 @@ struct PageMeta {
     master: Option<Box<[u8]>>,
 }
 
+/// One node's twin storage: the twins snapshotted this interval plus a
+/// pool of recycled page buffers. The pool is preallocated at engine
+/// build (one buffer per shared page — the most a node can twin before
+/// a flush), so the write-fault hot path never allocates.
+struct TwinSet {
+    used: Vec<(usize, Box<[u8]>)>,
+    free: Vec<Box<[u8]>>,
+}
+
 /// Counters exposed after a run.
 #[derive(Debug, Default)]
 pub struct VmStats {
@@ -132,7 +140,7 @@ struct Shared {
     barrier: Barrier,
     /// Per-node twins (TwinDiff mode), touched only by that node's
     /// service thread and its app thread's flush.
-    twins: Vec<Mutex<HashMap<usize, Box<[u8]>>>>,
+    twins: Vec<Mutex<TwinSet>>,
     /// Application-level mutual-exclusion locks (invalidate mode: the
     /// engine is sequentially consistent, so plain mutexes suffice).
     app_locks: Vec<Mutex<()>>,
@@ -260,15 +268,21 @@ impl Shared {
                 self.copy_page(master.as_ptr(), self.regions[node].at(off));
             }
         }
-        // Snapshot the twin for the barrier diff.
-        let mut twin = vec![0u8; ps].into_boxed_slice();
+        // Snapshot the twin for the barrier diff, reusing a pooled
+        // buffer. A page can be twinned at most once per interval (the
+        // ACC_WRITE early return above), so a plain push suffices.
+        let mut set = self.twins[node]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut twin = set
+            .free
+            .pop()
+            .unwrap_or_else(|| vec![0u8; ps].into_boxed_slice());
         unsafe {
             ptr::copy_nonoverlapping(self.regions[node].at(off), twin.as_mut_ptr(), ps);
         }
-        self.twins[node]
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(page, twin);
+        set.used.push((page, twin));
+        drop(set);
         self.acc(node, page).store(ACC_WRITE, Ordering::Release);
     }
 
@@ -276,27 +290,35 @@ impl Shared {
     /// local copies (called by the app thread at a barrier).
     fn flush_twins(&self, node: usize) {
         let ps = self.cfg.page_size;
-        let twins: Vec<(usize, Box<[u8]>)> = self.twins[node]
+        let mut set = self.twins[node]
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .drain()
-            .collect();
-        for (page, twin) in twins {
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let TwinSet { used, free } = &mut *set;
+        for (page, twin) in used.drain(..) {
             let off = self.off(page);
             let cur = unsafe { std::slice::from_raw_parts(self.regions[node].at(off), ps) };
-            let diff = PageDiff::create(&twin, cur);
             self.stats.diffs_created.fetch_add(1, Ordering::Relaxed);
+            // Stream the changed runs straight into the master: one
+            // scan, no diff object, no allocation. The meta lock (and
+            // the master's lazy allocation) engage only if anything
+            // actually changed.
+            let mut meta_guard = None;
+            let wire = PageDiff::scan_runs(&twin, cur, |run_off, bytes| {
+                let meta = meta_guard.get_or_insert_with(|| {
+                    self.meta[page]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                });
+                let master = self.master_mut(meta);
+                master[run_off..run_off + bytes.len()].copy_from_slice(bytes);
+            });
+            drop(meta_guard);
             self.stats
                 .diff_bytes
-                .fetch_add(diff.wire_bytes() as u64, Ordering::Relaxed);
-            if !diff.is_empty() {
-                let mut meta = self.meta[page]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                let master = self.master_mut(&mut meta);
-                diff.apply(master);
-            }
+                .fetch_add(wire as u64, Ordering::Relaxed);
+            free.push(twin);
         }
+        drop(set);
         // Drop every local copy: the next access refetches the merged
         // master.
         for page in 0..self.cfg.pages {
@@ -572,7 +594,14 @@ where
         pipe_w: pipe_w.clone(),
         barrier: Barrier::new(cfg.nnodes),
         twins: (0..cfg.nnodes)
-            .map(|_| Mutex::new(HashMap::new()))
+            .map(|_| {
+                Mutex::new(TwinSet {
+                    used: Vec::with_capacity(cfg.pages),
+                    free: (0..cfg.pages)
+                        .map(|_| vec![0u8; cfg.page_size].into_boxed_slice())
+                        .collect(),
+                })
+            })
             .collect(),
         app_locks: (0..64).map(|_| Mutex::new(())).collect(),
         stats: VmStats::default(),
