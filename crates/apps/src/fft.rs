@@ -145,15 +145,16 @@ pub fn run(dsm: &Dsm<'_>, p: &FftParams) -> f64 {
     // The transpose streams sequentially through all of A: declare it
     // as the read-ahead window so a batching runtime can prefetch the
     // following rows' pages on every miss.
-    dsm.hint_range(GlobalAddr(0), p.n() * 16);
-    for r in 0..p.rows {
-        let arow = dsm.read_f64s(p.a_elem(r, 0), p.cols * 2);
-        for br in blo..bhi {
-            bblock[(br - blo) * p.rows * 2 + 2 * r] = arow[2 * br];
-            bblock[(br - blo) * p.rows * 2 + 2 * r + 1] = arow[2 * br + 1];
+    {
+        let _window = dsm.prefetch_window(GlobalAddr(0), p.n() * 16);
+        for r in 0..p.rows {
+            let arow = dsm.read_f64s(p.a_elem(r, 0), p.cols * 2);
+            for br in blo..bhi {
+                bblock[(br - blo) * p.rows * 2 + 2 * r] = arow[2 * br];
+                bblock[(br - blo) * p.rows * 2 + 2 * r + 1] = arow[2 * br + 1];
+            }
         }
     }
-    dsm.clear_hint();
     if bhi > blo {
         dsm.write_f64s(p.b_elem(blo, 0), &bblock);
     }

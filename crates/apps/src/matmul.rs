@@ -60,23 +60,24 @@ pub fn run(dsm: &Dsm<'_>, p: &MatmulParams) -> f64 {
     // C[r] = sum_k A[r][k] * B[k]; read B rows on demand (they cache).
     // B is streamed in k-order, so declare it as the read-ahead window:
     // a miss on one B row lets a batching runtime prefetch the next.
-    dsm.hint_range(GlobalAddr(n * n * 8), n * n * 8);
-    for r in lo..hi {
-        let arow = dsm.read_f64s(p.a_row(r), n);
-        let mut crow = vec![0.0f64; n];
-        for (k, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
+    {
+        let _window = dsm.prefetch_window(GlobalAddr(n * n * 8), n * n * 8);
+        for r in lo..hi {
+            let arow = dsm.read_f64s(p.a_row(r), n);
+            let mut crow = vec![0.0f64; n];
+            for (k, &aval) in arow.iter().enumerate() {
+                if aval == 0.0 {
+                    continue;
+                }
+                let brow = dsm.read_f64s(p.b_row(k), n);
+                for (cv, bv) in crow.iter_mut().zip(&brow) {
+                    *cv += aval * bv;
+                }
             }
-            let brow = dsm.read_f64s(p.b_row(k), n);
-            for (cv, bv) in crow.iter_mut().zip(&brow) {
-                *cv += aval * bv;
-            }
+            compute_flops(dsm, (2 * n * n) as u64);
+            dsm.write_f64s(p.c_row(r), &crow);
         }
-        compute_flops(dsm, (2 * n * n) as u64);
-        dsm.write_f64s(p.c_row(r), &crow);
     }
-    dsm.clear_hint();
     dsm.barrier(0);
 
     let mut sum = 0.0;

@@ -96,21 +96,22 @@ pub fn run(dsm: &Dsm<'_>, p: &SorParams) -> f64 {
     // Every color sweep streams rows lo-1..=hi in order (each row plus
     // its neighbors): declare that neighborhood as the read-ahead
     // window so a boundary-row miss can prefetch the rows behind it.
-    dsm.hint_range(p.row_addr(lo - 1), (hi - lo + 2) * n * 8);
-    for _ in 0..p.iters {
-        for color in 0..2 {
-            for r in lo..hi {
-                let above = dsm.read_f64s(p.row_addr(r - 1), n);
-                let mut cur = dsm.read_f64s(p.row_addr(r), n);
-                let below = dsm.read_f64s(p.row_addr(r + 1), n);
-                let flops = relax_row(p, &above, &mut cur, &below, r, color);
-                dsm.write_f64s(p.row_addr(r), &cur);
-                compute_flops(dsm, flops);
+    {
+        let _window = dsm.prefetch_window(p.row_addr(lo - 1), (hi - lo + 2) * n * 8);
+        for _ in 0..p.iters {
+            for color in 0..2 {
+                for r in lo..hi {
+                    let above = dsm.read_f64s(p.row_addr(r - 1), n);
+                    let mut cur = dsm.read_f64s(p.row_addr(r), n);
+                    let below = dsm.read_f64s(p.row_addr(r + 1), n);
+                    let flops = relax_row(p, &above, &mut cur, &below, r, color);
+                    dsm.write_f64s(p.row_addr(r), &cur);
+                    compute_flops(dsm, flops);
+                }
+                dsm.barrier(0);
             }
-            dsm.barrier(0);
         }
     }
-    dsm.clear_hint();
 
     let mut sum = 0.0;
     for r in lo..hi {

@@ -23,6 +23,7 @@ struct Args {
     lock: LockKind,
     barrier: BarrierKind,
     fast_path: bool,
+    lrc_gc: bool,
     batch_depth: usize,
     quantum_us: u64,
     drop_prob: f64,
@@ -41,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         lock: LockKind::Queue,
         barrier: BarrierKind::Central,
         fast_path: true,
+        lrc_gc: true,
         batch_depth: 1,
         quantum_us: 0, // 0 = keep the built-in MAX_LOCAL_QUANTUM
         drop_prob: 0.0,
@@ -97,6 +99,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--no-fast-path" => args.fast_path = false,
+            "--no-lrc-gc" => args.lrc_gc = false,
             "--batch-depth" => args.batch_depth = val()?.parse().map_err(|e| format!("{e}"))?,
             "--quantum-us" => args.quantum_us = val()?.parse().map_err(|e| format!("{e}"))?,
             "--drop-prob" => args.drop_prob = val()?.parse().map_err(|e| format!("{e}"))?,
@@ -116,7 +119,7 @@ fn main() {
             eprintln!(
                 "usage: dsmrun --app <name> --proto <name> [--nodes N] [--page B] \
                  [--size S] [--placement P] [--lock K] [--barrier K] \
-                 [--no-fast-path] [--batch-depth D] [--quantum-us U] \
+                 [--no-fast-path] [--no-lrc-gc] [--batch-depth D] [--quantum-us U] \
                  [--drop-prob P] [--dup-prob P] [--fault-seed S] | --list"
             );
             std::process::exit(2);
@@ -131,6 +134,7 @@ fn main() {
             .lock_kind(a.lock)
             .barrier_kind(a.barrier)
             .fast_path(a.fast_path)
+            .lrc_gc(a.lrc_gc)
             .batch_depth(a.batch_depth)
             .max_events(2_000_000_000)
             .faults(FaultPlan::lossy(a.drop_prob, a.dup_prob, a.fault_seed));

@@ -1,7 +1,7 @@
 //! E17 — the batched multi-page fault pipeline: completion time,
 //! message counts, and kernel rendezvous as a function of batch depth.
 //!
-//! Sequential kernels declare read-ahead windows (`Dsm::hint_range`),
+//! Sequential kernels declare read-ahead windows (`Dsm::prefetch_window`),
 //! so a page miss hands the protocol up to `depth` pages to fetch in
 //! one rendezvous, with per-destination request/reply coalescing into
 //! `Batch` envelopes. Depth 1 is the unbatched baseline (bit-identical

@@ -7,6 +7,7 @@ mod ablation;
 mod batching;
 mod faults;
 mod memory;
+mod meta;
 mod scaling;
 mod sync_and_vm;
 
@@ -14,6 +15,7 @@ pub use ablation::{e13_nic_ablation, e14_lrc_lock_ablation};
 pub use batching::e17_batching;
 pub use faults::e16_faults;
 pub use memory::{e05_false_sharing, e06_erc_vs_lrc, e09_diffs};
+pub use meta::e18_lrc_meta;
 pub use scaling::{
     e01_managers, e02_sor, e03_matmul, e04_gauss, e11_entry_vs_lrc, e12_tsp, e15_fft,
 };
@@ -55,4 +57,5 @@ pub fn run_all(scale: Scale) {
     e15_fft(scale);
     e16_faults(scale);
     e17_batching(scale);
+    e18_lrc_meta(scale);
 }

@@ -48,17 +48,36 @@ impl<'a> Dsm<'a> {
         }
     }
 
-    /// Declare `[addr, addr + len)` as a sequential read-ahead window:
-    /// until replaced or cleared, a read miss inside it lets the runtime
-    /// offer the window's following pages to the protocol as prefetch
-    /// candidates, batching up to `DsmConfig::batch_depth` page faults
-    /// into one rendezvous. Purely advisory — results are identical
-    /// with or without hints, and at batch depth 1 hints are ignored.
+    /// Declare `[addr, addr + len)` as a sequential read-ahead window
+    /// for the returned guard's lifetime: while it lives, a read miss
+    /// inside the window lets the runtime offer the window's following
+    /// pages to the protocol as prefetch candidates, batching up to
+    /// `DsmConfig::batch_depth` page faults into one rendezvous.
+    /// Purely advisory — results are identical with or without windows,
+    /// and at batch depth 1 they are ignored.
+    ///
+    /// Dropping the guard restores the window that was active when it
+    /// was opened, so windows nest naturally:
+    ///
+    /// ```ignore
+    /// let _w = dsm.prefetch_window(row_addr, row_bytes);
+    /// for j in 0..n { sum += dsm.read_f64(row_addr.offset(j * 8)); }
+    /// // window closes here
+    /// ```
+    #[must_use = "the window closes when the guard drops"]
+    pub fn prefetch_window(&self, addr: GlobalAddr, len: usize) -> PrefetchWindow<'_, 'a> {
+        let prev = self.hint.replace(Some((addr, len)));
+        PrefetchWindow { dsm: self, prev }
+    }
+
+    /// Declare a read-ahead window with no scope.
+    #[deprecated(note = "use the RAII `prefetch_window` guard instead")]
     pub fn hint_range(&self, addr: GlobalAddr, len: usize) {
         self.hint.set(Some((addr, len)));
     }
 
     /// Drop the current read-ahead window.
+    #[deprecated(note = "use the RAII `prefetch_window` guard instead")]
     pub fn clear_hint(&self) {
         self.hint.set(None);
     }
@@ -271,5 +290,20 @@ impl<'a> Dsm<'a> {
             }
             self.compute(poll);
         }
+    }
+}
+
+/// RAII guard for a declared read-ahead window (see
+/// [`Dsm::prefetch_window`]). Dropping it restores the previously
+/// active window, so nested guards unwind like a stack.
+#[must_use = "the window closes when the guard drops"]
+pub struct PrefetchWindow<'d, 'a> {
+    dsm: &'d Dsm<'a>,
+    prev: Option<(GlobalAddr, usize)>,
+}
+
+impl Drop for PrefetchWindow<'_, '_> {
+    fn drop(&mut self) {
+        self.dsm.hint.set(self.prev);
     }
 }

@@ -25,7 +25,7 @@ mod lease;
 mod msg;
 mod node;
 
-pub use api::Dsm;
+pub use api::{Dsm, PrefetchWindow};
 pub use lease::Lease;
 pub use msg::CoreMsg;
 pub use node::{DsmNode, DsmOp, DsmReply, OpBuf, OpData};
@@ -33,13 +33,13 @@ pub use node::{DsmNode, DsmOp, DsmReply, OpBuf, OpData};
 // Re-export the vocabulary types users need.
 pub use dsm_mem::{GlobalAddr, PageGeometry, PageId, Placement, SpaceLayout};
 pub use dsm_net::{CostModel, Dur, FaultPlan, NetStats, NodeId, RunResult, SimTime};
-pub use dsm_proto::{EntryBinding, ProtocolKind};
+pub use dsm_proto::{EntryBinding, ProtoOpts, ProtocolKind};
 pub use dsm_sync::{BarrierId, BarrierKind, LockId, LockKind};
 
-/// Hard cap on [`DsmConfig::batch_depth`]: beyond eight pages per
-/// batched fault the rendezvous saving is negligible while the risk of
-/// fetching pages the program never touches grows.
-pub const MAX_BATCH_DEPTH: usize = 8;
+/// Hard cap on [`DsmConfig::batch_depth`], re-exported from the
+/// protocol layer (which also lets individual protocols clamp lower via
+/// `Protocol::max_batch_depth`).
+pub use dsm_proto::MAX_BATCH_DEPTH;
 
 /// Full configuration of one DSM machine.
 #[derive(Debug, Clone)]
@@ -75,6 +75,10 @@ pub struct DsmConfig {
     /// wall-clock knob: virtual-time results are identical for any
     /// positive value. Defaults to [`dsm_net::MAX_LOCAL_QUANTUM`].
     pub local_quantum: Dur,
+    /// LRC only: retire causal metadata at barriers (interval GC). On
+    /// by default; off reproduces the unbounded-log variant (E18's
+    /// baseline). Application results are bit-identical either way.
+    pub lrc_gc: bool,
 }
 
 impl DsmConfig {
@@ -96,6 +100,7 @@ impl DsmConfig {
             fast_path: true,
             batch_depth: 1,
             local_quantum: dsm_net::MAX_LOCAL_QUANTUM,
+            lrc_gc: true,
         }
     }
 
@@ -165,6 +170,12 @@ impl DsmConfig {
         self
     }
 
+    /// Enable/disable LRC interval GC at barriers.
+    pub fn lrc_gc(mut self, on: bool) -> Self {
+        self.lrc_gc = on;
+        self
+    }
+
     /// Set the run-ahead quantum cap (must be positive).
     pub fn local_quantum(mut self, q: Dur) -> Self {
         assert!(q > Dur::ZERO, "local quantum must be positive");
@@ -188,7 +199,10 @@ impl DsmConfig {
         (0..self.nnodes)
             .map(|i| {
                 let me = NodeId(i);
-                let proto = self.protocol.build(me, layout, &self.bindings);
+                let opts = ProtoOpts {
+                    lrc_gc: self.lrc_gc,
+                };
+                let proto = self.protocol.build_opts(me, layout, &self.bindings, opts);
                 DsmNode::new(
                     me,
                     layout,

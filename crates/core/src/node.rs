@@ -100,7 +100,7 @@ pub enum DsmOp {
     Read {
         addr: GlobalAddr,
         buf: OpBuf,
-        /// Declared read-ahead window (see [`crate::Dsm::hint_range`]):
+        /// Declared read-ahead window (see [`crate::Dsm::prefetch_window`]):
         /// on a miss inside it, the runtime offers the following
         /// not-yet-readable pages of the window to the protocol as
         /// prefetch candidates, up to the configured batch depth.
@@ -227,6 +227,12 @@ impl DsmNode {
         batch_depth: usize,
     ) -> Self {
         let nnodes = layout.nnodes();
+        // Clamp to the global cap, then to the protocol's own limit —
+        // protocols whose transaction machinery admits a single
+        // in-flight fetch (e.g. migrate) report max_batch_depth() == 1.
+        let batch_depth = batch_depth
+            .clamp(1, crate::MAX_BATCH_DEPTH)
+            .min(proto.max_batch_depth().max(1));
         DsmNode {
             me,
             nnodes,
@@ -237,7 +243,7 @@ impl DsmNode {
             barriers: BarrierEngine::new(barrier_kind, me, nnodes),
             pending: Pending::None,
             faulted: false,
-            batch_depth: batch_depth.clamp(1, crate::MAX_BATCH_DEPTH),
+            batch_depth,
             inflight: Vec::new(),
         }
     }
@@ -317,7 +323,7 @@ impl DsmNode {
         let mut events = Vec::new();
         {
             let mut io = Io { ctx };
-            let piggy = self.proto.barrier_piggy(&mut io, Self::mem(&self.frames));
+            let piggy = self.proto.sync_depart(&mut io, Self::mem(&self.frames));
             self.barriers.arrive(&mut io, barrier, piggy, &mut events);
         }
         self.handle_barrier_events(ctx, events)
@@ -352,7 +358,7 @@ impl DsmNode {
                 BarrierEvent::Released { piggy, .. } => {
                     let mut io = Io { ctx };
                     self.proto
-                        .on_barrier_released(&mut io, Self::mem(&self.frames), piggy);
+                        .sync_arrive(&mut io, Self::mem(&self.frames), piggy);
                     released = true;
                 }
             }
@@ -671,6 +677,10 @@ impl NodeBehavior for DsmNode {
 
     fn describe(&self) -> String {
         format!("{} pending={:?}", self.proto.name(), self.pending)
+    }
+
+    fn gauges(&self) -> Vec<(&'static str, u64)> {
+        self.proto.gauges()
     }
 
     fn on_op(&mut self, ctx: &mut Ctx<'_, Self>, op: DsmOp) -> OpOutcome<DsmReply> {

@@ -102,11 +102,14 @@ fn erc_release_refreshes_existing_copies_without_refetch() {
 
 /// Under LRC the same scenario costs no message at release time — the
 /// reader's copy goes stale and is repaired lazily on its next access.
+/// (Interval GC off: with GC the post-barrier repair is an epoch flush
+/// instead — covered by `lrc_gc_retires_diffs_at_barrier` below.)
 #[test]
 fn lrc_release_sends_nothing_reader_repairs_lazily() {
     let cfg = DsmConfig::new(2, ProtocolKind::Lrc)
         .heap_bytes(1024)
-        .page_size(256);
+        .page_size(256)
+        .lrc_gc(false);
     let res = dsm_core::run_dsm(&cfg, |dsm: &Dsm<'_>| {
         let a = GlobalAddr(0);
         if dsm.id().0 == 1 {
@@ -127,6 +130,40 @@ fn lrc_release_sends_nothing_reader_repairs_lazily() {
     // The diff traveled on demand (a diff request), not at release.
     assert!(res.stats.kind("LrcDiffReq").count >= 1, "{}", res.stats);
     assert_eq!(res.stats.kind("DiffApply").count, 0);
+}
+
+/// With interval GC (the default) the barrier retires the epoch: the
+/// write's diff rides the barrier to the page's home, the reader's
+/// stale copy is evicted, and no lazy diff request ever happens — yet
+/// the value read is identical.
+#[test]
+fn lrc_gc_retires_diffs_at_barrier() {
+    let cfg = DsmConfig::new(2, ProtocolKind::Lrc)
+        .heap_bytes(1024)
+        .page_size(256);
+    let res = dsm_core::run_dsm(&cfg, |dsm: &Dsm<'_>| {
+        let a = GlobalAddr(0);
+        if dsm.id().0 == 1 {
+            dsm.read_u64(a);
+            dsm.barrier(0);
+            dsm.barrier(1);
+            dsm.read_u64(a)
+        } else {
+            dsm.barrier(0);
+            dsm.acquire(5);
+            dsm.write_u64(a, 77);
+            dsm.release(5);
+            dsm.barrier(1);
+            0
+        }
+    });
+    assert_eq!(res.results[1], 77);
+    assert_eq!(res.stats.kind("LrcDiffReq").count, 0, "{}", res.stats);
+    // End-of-run metadata is fully retired on every node.
+    for g in &res.gauges {
+        let log = g.iter().find(|(k, _)| *k == "lrc_log_records").unwrap().1;
+        assert_eq!(log, 0, "interval log not retired: {g:?}");
+    }
 }
 
 /// Manager-scheme IVY transactions are serialized per page, so even a

@@ -1,0 +1,225 @@
+//! Causal time for lazy release consistency: a node's vector clock
+//! plus the shared **barrier floor**, with a delta-encoded wire form.
+//!
+//! After every barrier all nodes hold the same clock (the global join
+//! of everyone's departure clocks), so that clock is a fleet-wide
+//! *floor*: every causal timestamp produced afterwards dominates it.
+//! Instead of shipping dense `N × u32` vectors, [`VClockDelta`] ships
+//! only the components that differ from a base clock — in the steady
+//! state a handful of entries regardless of `N`. The base rides inside
+//! the struct (this is a simulator; messages are in-memory values) but
+//! is *modeled* on the wire as a fixed-size epoch tag: both ends of a
+//! barrier-synchronized phase already share the floor, so a real
+//! implementation transmits the epoch number, not the vector.
+
+use crate::vclock::VClock;
+use std::fmt;
+
+/// Sparse encoding of a vector clock as a diff against a base clock.
+///
+/// Lossless for *any* clock (components below the base are listed just
+/// like components above it), so stale payloads — e.g. a release piggy
+/// deposited at a central lock server and granted epochs later — still
+/// expand exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VClockDelta {
+    base: VClock,
+    /// `(node index, absolute count)` for every component that differs
+    /// from `base`.
+    entries: Vec<(u32, u32)>,
+}
+
+impl VClockDelta {
+    /// Encode `vc` as a diff against `base`.
+    pub fn encode(vc: &VClock, base: &VClock) -> Self {
+        assert_eq!(vc.len(), base.len());
+        let entries = (0..vc.len())
+            .filter(|&i| vc.get(i) != base.get(i))
+            .map(|i| (i as u32, vc.get(i)))
+            .collect();
+        VClockDelta {
+            base: base.clone(),
+            entries,
+        }
+    }
+
+    /// Encode `vc` against the all-zero clock: every nonzero component
+    /// travels. Used where no shared floor can be assumed (e.g. piggys
+    /// deposited at a central lock server for an unknown future
+    /// acquirer), so the modeled wire size stays honest.
+    pub fn dense(vc: &VClock) -> Self {
+        Self::encode(vc, &VClock::new(vc.len()))
+    }
+
+    /// Reconstruct the full clock: base overwritten by the entries.
+    pub fn expand(&self) -> VClock {
+        let mut vc = self.base.clone();
+        for &(i, v) in &self.entries {
+            vc.set(i as usize, v);
+        }
+        vc
+    }
+
+    /// Number of components that travel.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Modeled wire size: a fixed epoch tag + entry count header (8
+    /// bytes) plus `(u32 index, u32 count)` per changed component.
+    pub fn wire_bytes(&self) -> usize {
+        8 + self.entries.len() * 8
+    }
+}
+
+impl fmt::Display for VClockDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Δ{{")?;
+        for (k, (i, v)) in self.entries.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}:{}", i, v)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A node's causal time: its current vector clock and the barrier
+/// floor it last synchronized at. All wire encodings of clocks and
+/// interval records are produced relative to the floor.
+#[derive(Debug, Clone)]
+pub struct CausalTime {
+    vt: VClock,
+    floor: VClock,
+}
+
+impl CausalTime {
+    pub fn new(n: usize) -> Self {
+        CausalTime {
+            vt: VClock::new(n),
+            floor: VClock::new(n),
+        }
+    }
+
+    /// The current clock.
+    #[inline]
+    pub fn now(&self) -> &VClock {
+        &self.vt
+    }
+
+    /// The shared floor from the last barrier (all-zero before the
+    /// first barrier).
+    #[inline]
+    pub fn floor(&self) -> &VClock {
+        &self.floor
+    }
+
+    /// Bump own component `i`; returns the new value.
+    pub fn tick(&mut self, i: usize) -> u32 {
+        self.vt.inc(i)
+    }
+
+    /// Join `other` into the current clock.
+    pub fn join(&mut self, other: &VClock) {
+        self.vt.join(other);
+    }
+
+    /// Replace the current clock (barrier release installs the global
+    /// join).
+    pub fn set_now(&mut self, vc: VClock) {
+        self.vt = vc;
+    }
+
+    /// Advance the floor to the current clock — called when a barrier
+    /// epoch closes, after which all retained metadata is relative to
+    /// the new floor.
+    pub fn advance_floor(&mut self) {
+        self.floor = self.vt.clone();
+    }
+
+    /// Delta-encode an arbitrary clock against the floor.
+    pub fn encode(&self, vc: &VClock) -> VClockDelta {
+        VClockDelta::encode(vc, &self.floor)
+    }
+
+    /// Delta-encode the current clock against the floor.
+    pub fn encode_now(&self) -> VClockDelta {
+        self.encode(&self.vt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_roundtrip_above_floor() {
+        let mut floor = VClock::new(8);
+        for i in 0..8 {
+            floor.set(i, 10);
+        }
+        let mut vc = floor.clone();
+        vc.set(2, 13);
+        vc.set(5, 11);
+        let d = VClockDelta::encode(&vc, &floor);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.expand(), vc);
+        assert_eq!(d.wire_bytes(), 8 + 16);
+    }
+
+    #[test]
+    fn delta_roundtrip_below_floor_is_lossless() {
+        let mut floor = VClock::new(4);
+        for i in 0..4 {
+            floor.set(i, 5);
+        }
+        let mut vc = VClock::new(4);
+        vc.set(0, 5);
+        vc.set(1, 2); // below the floor
+        vc.set(2, 9);
+        let d = VClockDelta::encode(&vc, &floor);
+        assert_eq!(d.expand(), vc);
+        // components 1 (below), 2 (above), 3 (below) differ
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn dense_counts_nonzero_components() {
+        let mut vc = VClock::new(16);
+        vc.set(3, 1);
+        vc.set(9, 4);
+        let d = VClockDelta::dense(&vc);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.expand(), vc);
+    }
+
+    #[test]
+    fn equal_clocks_encode_empty() {
+        let vc = VClock::new(32);
+        let d = VClockDelta::encode(&vc, &vc);
+        assert!(d.is_empty());
+        assert_eq!(d.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn causal_time_floor_tracks_barriers() {
+        let mut t = CausalTime::new(3);
+        t.tick(0);
+        t.tick(0);
+        let mut other = VClock::new(3);
+        other.set(1, 4);
+        t.join(&other);
+        assert_eq!(t.now().as_slice(), &[2, 4, 0]);
+        // before a barrier the floor is zero, so the delta is dense-ish
+        assert_eq!(t.encode_now().len(), 2);
+        t.advance_floor();
+        assert!(t.encode_now().is_empty());
+        t.tick(0);
+        assert_eq!(t.encode_now().len(), 1);
+    }
+}

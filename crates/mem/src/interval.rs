@@ -11,6 +11,7 @@
 //! access fault.
 
 use crate::addr::PageId;
+use crate::causal::VClockDelta;
 use crate::vclock::VClock;
 use dsm_net::NodeId;
 
@@ -42,6 +43,41 @@ impl IntervalRecord {
     /// Modeled wire size: clock + page list.
     pub fn wire_bytes(&self) -> usize {
         self.vc.wire_bytes() + 8 + self.pages.len() * 4
+    }
+}
+
+/// Wire form of an [`IntervalRecord`]: the clock travels as a
+/// [`VClockDelta`] against the sender's barrier floor, so in the
+/// steady state a record costs a few entries instead of `N × u32`.
+#[derive(Debug, Clone)]
+pub struct WireIntervalRecord {
+    pub id: IntervalId,
+    pub vc: VClockDelta,
+    pub pages: Vec<PageId>,
+}
+
+impl WireIntervalRecord {
+    /// Compress a record against `base` (normally the barrier floor).
+    pub fn compress(rec: &IntervalRecord, base: &VClock) -> Self {
+        WireIntervalRecord {
+            id: rec.id,
+            vc: VClockDelta::encode(&rec.vc, base),
+            pages: rec.pages.clone(),
+        }
+    }
+
+    /// Reconstruct the full record.
+    pub fn expand(&self) -> IntervalRecord {
+        IntervalRecord {
+            id: self.id,
+            vc: self.vc.expand(),
+            pages: self.pages.clone(),
+        }
+    }
+
+    /// Modeled wire size: id + delta clock + page list.
+    pub fn wire_bytes(&self) -> usize {
+        8 + self.vc.wire_bytes() + self.pages.len() * 4
     }
 }
 

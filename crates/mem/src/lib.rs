@@ -11,10 +11,14 @@
 //! * [`PageDiff`] — twin/diff encoding for multiple-writer protocols;
 //! * [`VClock`], [`IntervalId`]/[`IntervalRecord`] — vector timestamps
 //!   and interval bookkeeping for lazy release consistency;
+//! * [`CausalTime`]/[`VClockDelta`]/[`WireIntervalRecord`] — the
+//!   barrier-floor view of causal time and its delta-encoded wire
+//!   forms;
 //! * [`Directory`]/[`DirEntry`]/[`NodeSet`] — owner + copyset tracking
 //!   for write-invalidate manager schemes.
 
 mod addr;
+mod causal;
 mod diff;
 mod dir;
 mod frame;
@@ -24,10 +28,11 @@ mod nodeset;
 mod vclock;
 
 pub use addr::{GlobalAddr, PageGeometry, PageId};
+pub use causal::{CausalTime, VClockDelta};
 pub use diff::PageDiff;
 pub use dir::{home_node, DirEntry, Directory, PendingReq};
 pub use frame::{Access, Frame, FrameTable};
-pub use interval::{IntervalId, IntervalRecord};
+pub use interval::{IntervalId, IntervalRecord, WireIntervalRecord};
 pub use layout::{Placement, SpaceLayout};
 pub use nodeset::NodeSet;
 pub use vclock::VClock;

@@ -173,6 +173,9 @@ pub struct RunResult<V> {
     pub rendezvous: u64,
     /// Per-node program return values.
     pub results: Vec<V>,
+    /// Per-node end-of-run metric gauges
+    /// ([`NodeBehavior::gauges`]), indexed by node.
+    pub gauges: Vec<Vec<(&'static str, u64)>>,
 }
 
 /// Default progress-watchdog window: ten seconds of virtual time with
@@ -478,12 +481,14 @@ impl<N: NodeBehavior> Sim<N> {
                 .collect();
             let finish_times: Vec<SimTime> = kernel.app.iter().map(|s| s.finish_time).collect();
             let end_time = finish_times.iter().copied().max().unwrap_or(SimTime::ZERO);
+            let gauges = nodes.iter().map(|n| n.gauges()).collect();
             RunResult {
                 end_time,
                 finish_times,
                 stats: kernel.stats.clone(),
                 rendezvous: kernel.rendezvous,
                 results,
+                gauges,
             }
         })
     }

@@ -43,6 +43,14 @@ pub trait NodeBehavior: Send {
         String::new()
     }
 
+    /// End-of-run metric gauges (name → value), collected into
+    /// [`crate::RunResult::gauges`]. Used by experiments to read
+    /// internal protocol state (e.g. resident metadata bytes) that
+    /// never crosses the wire.
+    fn gauges(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+
     /// A message from `from` has been delivered to this node.
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Self::Msg);
 

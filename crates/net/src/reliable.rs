@@ -244,6 +244,10 @@ impl<N: NodeBehavior> NodeBehavior for Reliable<N> {
         }
     }
 
+    fn gauges(&self) -> Vec<(&'static str, u64)> {
+        self.inner.gauges()
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Self::Msg) {
         let me = ctx.node;
         match msg {

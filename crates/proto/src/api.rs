@@ -8,7 +8,12 @@
 use crate::msg::{Piggy, ProtoMsg};
 use dsm_mem::{FrameTable, GlobalAddr, PageId};
 use dsm_net::{CostModel, Dur, NodeId};
-use dsm_sync::LockId;
+use dsm_sync::{LockId, SyncEnvelope};
+
+/// Hard ceiling on the multi-page fault pipeline depth (demand page +
+/// prefetch candidates). Individual protocols may clamp further via
+/// [`Protocol::max_batch_depth`].
+pub const MAX_BATCH_DEPTH: usize = 8;
 
 /// Transport + environment a protocol sees (implemented by the runtime
 /// over the simulator context).
@@ -132,41 +137,51 @@ pub trait Protocol: Send {
     /// One-time setup (install home pages, ...).
     fn on_start(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable) {}
 
-    /// The application read-faulted on `page`. Return `true` when the
-    /// fault was satisfied synchronously (rights now sufficient);
-    /// otherwise [`ProtoEvent::PageReady`] must follow.
-    fn read_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool;
-
-    /// The application write-faulted on `page`. Same contract as
-    /// [`Protocol::read_fault`].
-    fn write_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool;
-
     /// The application read-faulted on `pages[0]`; `pages[1..]` are
     /// prefetch candidates from the same sequential access (pages the
     /// runtime predicts it will read next, none currently readable).
-    /// Returns `(demand_resolved, issued)` where `demand_resolved` has
-    /// the [`Protocol::read_fault`] meaning for `pages[0]` and `issued`
-    /// lists the extra pages the protocol actually started a read
-    /// transaction for — each must eventually fire its own
+    /// Returns `(demand_resolved, issued)` where `demand_resolved` is
+    /// `true` when the demand fault was satisfied synchronously (rights
+    /// now sufficient; otherwise [`ProtoEvent::PageReady`] must follow)
+    /// and `issued` lists the extra pages the protocol actually started
+    /// a read transaction for — each must eventually fire its own
     /// [`ProtoEvent::PageReady`].
+    ///
+    /// This is the *only* read-fault entry point protocols implement;
+    /// the single-page [`Protocol::read_fault`] is its depth-1 case.
+    /// Protocols that cannot pipeline simply ignore `pages[1..]` and
+    /// return an empty `issued`.
     ///
     /// Prefetched transactions must not be held open awaiting op
     /// retirement (the runtime may be blocked on the demand page while
     /// another node's progress depends on a prefetched one — classic
     /// hold-and-wait); protocols that keep per-transaction server-side
     /// state confirm prefetched pages immediately on arrival instead.
-    ///
-    /// The default ignores the candidates and degenerates to the
-    /// single-page [`Protocol::read_fault`] — correct (if unbatched)
-    /// for every protocol, and exactly what update/ERC/entry keep.
     fn read_fault_batch(
         &mut self,
         io: &mut dyn ProtoIo,
         mem: &mut FrameTable,
         pages: &[PageId],
-    ) -> (bool, Vec<PageId>) {
-        debug_assert!(!pages.is_empty());
-        (self.read_fault(io, mem, pages[0]), Vec::new())
+    ) -> (bool, Vec<PageId>);
+
+    /// The application read-faulted on `page`: the depth-1 case of
+    /// [`Protocol::read_fault_batch`].
+    fn read_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
+        let (resolved, issued) = self.read_fault_batch(io, mem, &[page]);
+        debug_assert!(issued.is_empty(), "no candidates were offered");
+        resolved
+    }
+
+    /// The application write-faulted on `page`. Same synchronous-result
+    /// contract as [`Protocol::read_fault`].
+    fn write_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool;
+
+    /// Largest useful fault-pipeline depth for this protocol. The
+    /// runtime clamps the configured batch depth to this, so protocols
+    /// for which prefetching is actively harmful (migrate: every
+    /// prefetched page steals the single copy) can opt out.
+    fn max_batch_depth(&self) -> usize {
+        MAX_BATCH_DEPTH
     }
 
     /// An application write whose rights were insufficient. The default
@@ -258,27 +273,31 @@ pub trait Protocol: Send {
     ) {
     }
 
-    /// Contribution attached to this node's barrier arrival (called
-    /// after `pre_release` completed).
-    fn barrier_piggy(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable) -> Piggy {
-        Piggy::None
-    }
+    /// Consistency payload attached to this node's barrier arrival
+    /// (called after `pre_release` completed). Part of the unified
+    /// sync API: every protocol states explicitly what departs with it
+    /// to a global synchronization point, even if that is nothing.
+    fn sync_depart(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable) -> Piggy;
+
+    /// Apply the payload received with a barrier release — the other
+    /// half of the [`Protocol::sync_depart`] pair. For protocols with
+    /// retirement schemes (LRC interval GC) this is also where
+    /// epoch-old metadata is applied-and-dropped.
+    fn sync_arrive(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, piggy: Piggy);
 
     /// Root only: merge everyone's barrier contributions into one
-    /// payload per node (must return exactly one entry per node id).
+    /// payload per node (must return exactly one envelope per node id).
     fn merge_barrier(
         &mut self,
         _io: &mut dyn ProtoIo,
         _mem: &mut FrameTable,
-        arrivals: Vec<(NodeId, Piggy)>,
+        arrivals: Vec<SyncEnvelope<Piggy>>,
         nnodes: u32,
-    ) -> Vec<(NodeId, Piggy)> {
+    ) -> Vec<SyncEnvelope<Piggy>> {
         let _ = arrivals;
-        (0..nnodes).map(|i| (NodeId(i), Piggy::None)).collect()
-    }
-
-    /// Apply the payload received with a barrier release.
-    fn on_barrier_released(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable, _piggy: Piggy) {
+        (0..nnodes)
+            .map(|i| SyncEnvelope::new(NodeId(i), Piggy::None))
+            .collect()
     }
 
     /// Local cost to install a fetched page (charged by the runtime
@@ -286,5 +305,12 @@ pub trait Protocol: Send {
     /// paths (diff application) may override.
     fn install_cost(&self, model: &CostModel, page_size: usize) -> Dur {
         model.fault_overhead + model.mem_copy(page_size)
+    }
+
+    /// Instantaneous protocol-state metrics for experiment harnesses:
+    /// `(gauge name, value)` pairs sampled when a run ends. LRC reports
+    /// its resident causal-metadata footprint here.
+    fn gauges(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
     }
 }

@@ -17,7 +17,7 @@ use crate::api::{ProtoEvent, ProtoIo, Protocol};
 use crate::msg::{EntryUpdateLog, Piggy, ProtoMsg};
 use dsm_mem::{Access, FrameTable, GlobalAddr, PageDiff, PageId, SpaceLayout};
 use dsm_net::NodeId;
-use dsm_sync::LockId;
+use dsm_sync::{LockId, SyncEnvelope};
 use std::collections::HashMap;
 
 /// One lock → guarded byte range binding.
@@ -215,13 +215,19 @@ impl Protocol for Entry {
         }
     }
 
-    fn read_fault(&mut self, _io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
+    fn read_fault_batch(
+        &mut self,
+        _io: &mut dyn ProtoIo,
+        mem: &mut FrameTable,
+        pages: &[PageId],
+    ) -> (bool, Vec<PageId>) {
         // Cannot normally happen (all pages readable); tolerate for
-        // robustness.
-        if mem.page_bytes(page).is_none() {
-            mem.install_zeroed(page, Access::Read);
+        // robustness. Always synchronous, so candidates are moot.
+        debug_assert!(!pages.is_empty());
+        if mem.page_bytes(pages[0]).is_none() {
+            mem.install_zeroed(pages[0], Access::Read);
         }
-        true
+        (true, Vec::new())
     }
 
     fn write_fault(&mut self, _io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
@@ -320,7 +326,7 @@ impl Protocol for Entry {
         self.locks.entry(lock).or_default().snapshot = Some(images);
     }
 
-    fn barrier_piggy(&mut self, _io: &mut dyn ProtoIo, mem: &mut FrameTable) -> Piggy {
+    fn sync_depart(&mut self, _io: &mut dyn ProtoIo, mem: &mut FrameTable) -> Piggy {
         let twins = std::mem::take(&mut self.twins);
         let mut diffs = Vec::with_capacity(twins.len());
         for (page, twin) in twins {
@@ -355,9 +361,9 @@ impl Protocol for Entry {
         &mut self,
         _io: &mut dyn ProtoIo,
         mem: &mut FrameTable,
-        arrivals: Vec<(NodeId, Piggy)>,
+        arrivals: Vec<SyncEnvelope<Piggy>>,
         nnodes: u32,
-    ) -> Vec<(NodeId, Piggy)> {
+    ) -> Vec<SyncEnvelope<Piggy>> {
         use std::collections::BTreeMap;
         // Apply everyone's (disjoint) page diffs to our own view, pool
         // the lock-log entries, then give each node the merged page
@@ -365,8 +371,9 @@ impl Protocol for Entry {
         let mut dirty: Vec<usize> = Vec::new();
         let mut pool: BTreeMap<u32, BTreeMap<u64, Vec<(u32, PageDiff)>>> = BTreeMap::new();
         let mut versions: Vec<Vec<(u32, u64)>> = vec![Vec::new(); nnodes as usize];
-        for (node, piggy) in arrivals {
-            match piggy {
+        for env in arrivals {
+            let node = env.node;
+            match env.payload {
                 Piggy::EntryArrive { diffs, locks } => {
                     for (page, diff) in diffs {
                         let bytes = mem.page_bytes_mut(PageId(page)).expect("pre-installed");
@@ -417,7 +424,7 @@ impl Protocol for Entry {
                         (*lock, missing)
                     })
                     .collect();
-                (
+                SyncEnvelope::new(
                     node,
                     Piggy::EntryRelease {
                         pages: images,
@@ -428,7 +435,7 @@ impl Protocol for Entry {
             .collect()
     }
 
-    fn on_barrier_released(&mut self, _io: &mut dyn ProtoIo, mem: &mut FrameTable, piggy: Piggy) {
+    fn sync_arrive(&mut self, _io: &mut dyn ProtoIo, mem: &mut FrameTable, piggy: Piggy) {
         match piggy {
             Piggy::EntryRelease { pages, locks } => {
                 let g = self.layout.geometry;

@@ -15,7 +15,7 @@
 //! false-sharing cure measured by E5.
 
 use crate::api::{ProtoEvent, ProtoIo, Protocol};
-use crate::msg::ProtoMsg;
+use crate::msg::{Piggy, ProtoMsg};
 use dsm_mem::{Access, FrameTable, NodeSet, PageDiff, PageId, SpaceLayout};
 use dsm_net::NodeId;
 use std::collections::HashMap;
@@ -138,13 +138,23 @@ impl Protocol for Erc {
         }
     }
 
-    fn read_fault(&mut self, io: &mut dyn ProtoIo, _mem: &mut FrameTable, page: PageId) -> bool {
+    fn read_fault_batch(
+        &mut self,
+        io: &mut dyn ProtoIo,
+        _mem: &mut FrameTable,
+        pages: &[PageId],
+    ) -> (bool, Vec<PageId>) {
+        // One fetch at a time (the flush-ack protocol keys server-side
+        // state on a single in-flight fetch), so prefetch candidates
+        // are ignored.
+        debug_assert!(!pages.is_empty());
+        let page = pages[0];
         let home = self.home_of(page.0);
         assert_ne!(home, self.me, "home cannot read-fault");
         assert!(self.pending_fetch.is_none());
         self.pending_fetch = Some((page.0, false));
         io.send(home, ProtoMsg::FetchReq { page: page.0 });
-        false
+        (false, Vec::new())
     }
 
     fn write_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
@@ -276,6 +286,14 @@ impl Protocol for Erc {
             }
         }
     }
+
+    fn sync_depart(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable) -> Piggy {
+        // Eager: pre_release already flushed diffs to every copy
+        // holder, so the barrier itself carries nothing.
+        Piggy::None
+    }
+
+    fn sync_arrive(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable, _piggy: Piggy) {}
 }
 
 impl Erc {

@@ -19,7 +19,7 @@
 //! next request without starving the current one.
 
 use crate::api::{BatchingIo, ProtoEvent, ProtoIo, Protocol};
-use crate::msg::ProtoMsg;
+use crate::msg::{Piggy, ProtoMsg};
 use dsm_mem::{Access, Directory, FrameTable, NodeSet, PageId, PendingReq, SpaceLayout};
 use dsm_net::NodeId;
 use std::collections::{HashMap, HashSet};
@@ -575,19 +575,6 @@ impl Protocol for Ivy {
         }
     }
 
-    fn read_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
-        let p = page.0;
-        if self.owned.contains(&p) {
-            // First touch of an owned page.
-            self.ensure_frame(mem, p);
-            debug_assert!(mem.access(page).allows_read());
-            return true;
-        }
-        self.start_fault(p, false, false);
-        self.issue_read_request(io, mem, p);
-        false
-    }
-
     fn read_fault_batch(
         &mut self,
         io: &mut dyn ProtoIo,
@@ -595,11 +582,18 @@ impl Protocol for Ivy {
         pages: &[PageId],
     ) -> (bool, Vec<PageId>) {
         debug_assert!(!pages.is_empty());
-        if pages.len() == 1 {
-            return (self.read_fault(io, mem, pages[0]), Vec::new());
-        }
         let mut bio = BatchingIo::new(io);
-        let resolved = self.read_fault(&mut bio, mem, pages[0]);
+        let demand = pages[0].0;
+        let resolved = if self.owned.contains(&demand) {
+            // First touch of an owned page.
+            self.ensure_frame(mem, demand);
+            debug_assert!(mem.access(pages[0]).allows_read());
+            true
+        } else {
+            self.start_fault(demand, false, false);
+            self.issue_read_request(&mut bio, mem, demand);
+            false
+        };
         let mut issued = Vec::new();
         if !resolved {
             for &pg in &pages[1..] {
@@ -808,6 +802,14 @@ impl Protocol for Ivy {
             }
         }
     }
+
+    fn sync_depart(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable) -> Piggy {
+        // Sequentially consistent: every write is globally performed
+        // before the faulting op completes, so barriers carry nothing.
+        Piggy::None
+    }
+
+    fn sync_arrive(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable, _piggy: Piggy) {}
 }
 
 #[cfg(test)]

@@ -11,6 +11,20 @@ use crate::update::Update;
 use dsm_mem::SpaceLayout;
 use dsm_net::NodeId;
 
+/// Protocol tuning knobs consulted by [`ProtocolKind::build_opts`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProtoOpts {
+    /// LRC: retire causal metadata at barriers (home-flush epoch GC).
+    /// Off reproduces the unbounded-log variant for comparison (E18).
+    pub lrc_gc: bool,
+}
+
+impl Default for ProtoOpts {
+    fn default() -> Self {
+        ProtoOpts { lrc_gc: true }
+    }
+}
+
 /// Every coherence protocol in the suite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtocolKind {
@@ -86,6 +100,18 @@ impl ProtocolKind {
         layout: SpaceLayout,
         bindings: &[EntryBinding],
     ) -> Box<dyn Protocol> {
+        self.build_opts(me, layout, bindings, ProtoOpts::default())
+    }
+
+    /// Construct with protocol tuning knobs; [`ProtocolKind::build`]
+    /// uses the defaults.
+    pub fn build_opts(
+        self,
+        me: NodeId,
+        layout: SpaceLayout,
+        bindings: &[EntryBinding],
+        opts: ProtoOpts,
+    ) -> Box<dyn Protocol> {
         match self {
             ProtocolKind::IvyCentral => Box::new(Ivy::new(ManagerScheme::Central, me, layout)),
             ProtocolKind::IvyFixed => Box::new(Ivy::new(ManagerScheme::Fixed, me, layout)),
@@ -93,7 +119,7 @@ impl ProtocolKind {
             ProtocolKind::Migrate => Box::new(Migrate::new(me, layout)),
             ProtocolKind::Update => Box::new(Update::new(me, layout)),
             ProtocolKind::Erc => Box::new(Erc::new(me, layout)),
-            ProtocolKind::Lrc => Box::new(Lrc::new(me, layout)),
+            ProtocolKind::Lrc => Box::new(Lrc::with_gc(me, layout, opts.lrc_gc)),
             ProtocolKind::Entry => Box::new(Entry::new(me, layout, bindings)),
         }
     }

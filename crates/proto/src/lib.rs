@@ -26,11 +26,11 @@ mod migrate;
 mod msg;
 mod update;
 
-pub use api::{BatchingIo, ProtoEvent, ProtoIo, Protocol, WriteOutcome};
+pub use api::{BatchingIo, ProtoEvent, ProtoIo, Protocol, WriteOutcome, MAX_BATCH_DEPTH};
 pub use entry::{Entry, EntryBinding};
 pub use erc::Erc;
 pub use ivy::{Ivy, ManagerScheme};
-pub use kind::ProtocolKind;
+pub use kind::{ProtoOpts, ProtocolKind};
 pub use lrc::Lrc;
 pub use migrate::Migrate;
 pub use msg::{EntryUpdateLog, Piggy, ProtoMsg};

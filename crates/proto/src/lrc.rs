@@ -10,22 +10,53 @@
 //! invalidated page is actually touched are its missing diffs fetched —
 //! from their creators — and applied in causal order.
 //!
-//! Deviations from TreadMarks proper, chosen for clarity and noted in
-//! DESIGN.md: diffs are created eagerly at interval close (TreadMarks
-//! defers even diff creation until first request); when a faulting node
-//! holds no base copy of a page it fetches a full current copy from the
-//! causally-latest writer (plus diffs for any concurrent intervals),
-//! where TreadMarks reconstructs from base + all diffs; and diff
-//! garbage collection is omitted (intervals are retained for the run).
+//! ## Causal-metadata compression and interval GC
+//!
+//! All clocks travel as [`VClockDelta`]s against the node's barrier
+//! floor ([`CausalTime`]): after every barrier the floor is shared
+//! fleet-wide, so a steady-state clock costs a handful of entries
+//! instead of `N × u32` — the fix for the O(N²) barrier metadata that
+//! killed N=128 scaling.
+//!
+//! With GC enabled (the default), barriers also *retire* the epoch, in
+//! the spirit of TreadMarks' garbage collection crossed with
+//! home-based LRC: before arriving, each node pushes its epoch's
+//! remotely-homed diffs point-to-point to their homes
+//! ([`ProtoMsg::LrcFlush`], acked — homes buffer them unapplied), so
+//! bulk data never transits the barrier root. The arrival then carries
+//! interval records only; the root computes each page's causal write
+//! order and releases, per node, the ordered interval-id lists for the
+//! pages it homes plus compacted per-page invalidation notices (one
+//! per written page, not one per interval). On release every node
+//! applies its home pages' buffered/resident diffs in that order,
+//! evicts stale copies, and drops its entire interval log and diff
+//! cache — every record is dominated by the new global clock —
+//! bounding resident causal metadata to one epoch and barrier messages
+//! to O(records). Homes are barrier-current, so post-barrier faults
+//! take the plain first-touch path. Releases reach nodes at different
+//! times, so page requests are epoch-tagged: a home still waiting for
+//! the release a requester has already survived parks the request and
+//! serves it once its own release applies the buffered flushes (and,
+//! symmetrically, next-epoch flushes buffered early survive the
+//! current release's retirement).
+//!
+//! Other deviations from TreadMarks proper, chosen for clarity and
+//! noted in DESIGN.md: diffs are created eagerly at interval close
+//! (TreadMarks defers even diff creation until first request); when a
+//! faulting node holds no base copy of a page it fetches a full current
+//! copy from the causally-latest writer (plus diffs for any concurrent
+//! intervals), where TreadMarks reconstructs from base + all diffs.
 
 use crate::api::{BatchingIo, ProtoEvent, ProtoIo, Protocol};
 use crate::msg::{Piggy, ProtoMsg};
 use dsm_mem::{
-    Access, FrameTable, IntervalId, IntervalRecord, PageDiff, PageId, SpaceLayout, VClock,
+    Access, CausalTime, FrameTable, IntervalId, IntervalRecord, PageDiff, PageId, SpaceLayout,
+    VClock, WireIntervalRecord,
 };
 use dsm_net::NodeId;
-use dsm_sync::LockId;
-use std::collections::HashMap;
+use dsm_sync::{LockId, SyncEnvelope};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
 
 /// One in-flight local fault.
 #[derive(Debug)]
@@ -44,14 +75,15 @@ pub struct Lrc {
     layout: SpaceLayout,
     me: NodeId,
     nnodes: u32,
-    /// This node's vector time: `vt[i]` = latest interval of node i
-    /// whose record is in `log`.
-    vt: VClock,
+    /// This node's causal time: current clock + barrier floor. All
+    /// wire encodings are produced relative to the floor.
+    time: CausalTime,
     /// Twins of pages dirtied in the current (open) interval.
     twins: HashMap<usize, Box<[u8]>>,
     /// Diffs of this node's own closed intervals: (page, seq) → diff.
     my_diffs: HashMap<(usize, u32), PageDiff>,
-    /// Every interval record this node knows (its own and received).
+    /// Every live interval record this node knows (its own and
+    /// received). With GC on, this empties at every barrier.
     log: HashMap<IntervalId, IntervalRecord>,
     /// Unapplied write notices per page.
     missing: HashMap<usize, Vec<IntervalId>>,
@@ -60,26 +92,49 @@ pub struct Lrc {
     /// serving nodes keep no per-transaction state, so no confirmation
     /// protocol is needed.
     pending: HashMap<usize, LrcPending>,
-    /// Vector time as of the last barrier: every node provably holds
-    /// every record at or below it, so barrier arrivals only carry
-    /// records authored since (TreadMarks' barrier-time record GC).
-    barrier_vt: VClock,
+    /// Interval GC at barriers (home-flush epoch retirement).
+    gc: bool,
+    /// Home-side: epoch diffs flushed here by departing writers,
+    /// buffered unapplied until the release delivers the causal order.
+    flushed: HashMap<(IntervalId, usize), PageDiff>,
+    /// Writer-side: epoch-flush acks outstanding before this node may
+    /// arrive at the barrier.
+    flush_outstanding: u32,
+    /// GC epochs survived (barrier releases applied). Page requests
+    /// carry it so a home whose release is still in flight can tell it
+    /// must not serve pre-epoch bytes to a post-epoch requester.
+    epoch: u64,
+    /// Page requests from requesters one epoch ahead, parked until our
+    /// own release applies the buffered flushes they depend on.
+    deferred: Vec<(NodeId, usize)>,
+    /// High-water mark of [`Lrc::resident_bytes`], sampled at sync
+    /// points.
+    peak_resident: u64,
 }
 
 impl Lrc {
     pub fn new(me: NodeId, layout: SpaceLayout) -> Self {
+        Self::with_gc(me, layout, true)
+    }
+
+    pub fn with_gc(me: NodeId, layout: SpaceLayout, gc: bool) -> Self {
         let nnodes = layout.nnodes();
         Lrc {
             layout,
             me,
             nnodes,
-            vt: VClock::new(nnodes as usize),
+            time: CausalTime::new(nnodes as usize),
             twins: HashMap::new(),
             my_diffs: HashMap::new(),
             log: HashMap::new(),
             missing: HashMap::new(),
             pending: HashMap::new(),
-            barrier_vt: VClock::new(nnodes as usize),
+            gc,
+            flushed: HashMap::new(),
+            flush_outstanding: 0,
+            epoch: 0,
+            deferred: Vec::new(),
+            peak_resident: 0,
         }
     }
 
@@ -87,12 +142,69 @@ impl Lrc {
         self.layout.home_of(PageId(page))
     }
 
+    /// Serve a full-page request with our current copy (we are the home
+    /// or the latest writer; either way our bytes cover the requester's
+    /// causal past).
+    fn serve_page(
+        &mut self,
+        io: &mut dyn ProtoIo,
+        mem: &mut FrameTable,
+        from: NodeId,
+        page: usize,
+    ) {
+        if mem.page_bytes(PageId(page)).is_none() {
+            debug_assert_eq!(self.home_of(page), self.me);
+            mem.install_zeroed(PageId(page), Access::Read);
+        }
+        let data = mem
+            .page_bytes(PageId(page))
+            .unwrap()
+            .to_vec()
+            .into_boxed_slice();
+        io.send(from, ProtoMsg::LrcPageRep { page, data });
+    }
+
+    /// Resident causal-metadata footprint: live interval records, own
+    /// retained diffs, buffered epoch flushes, and unapplied write
+    /// notices (modeled bytes).
+    fn resident_bytes(&self) -> u64 {
+        let recs: u64 = self.log.values().map(|r| r.wire_bytes() as u64).sum();
+        let diffs: u64 = self
+            .my_diffs
+            .values()
+            .map(|d| 8 + d.wire_bytes() as u64)
+            .sum();
+        let buffered: u64 = self
+            .flushed
+            .values()
+            .map(|d| 12 + d.wire_bytes() as u64)
+            .sum();
+        let notices: u64 = self
+            .missing
+            .values()
+            .map(|ids| 8 + 8 * ids.len() as u64)
+            .sum();
+        recs + diffs + buffered + notices
+    }
+
+    fn sample_peak(&mut self) {
+        self.peak_resident = self.peak_resident.max(self.resident_bytes());
+    }
+
+    /// Has this node already applied (or retired) interval `id`?
+    /// Live records are in the log; records at or below the barrier
+    /// floor were retired by GC (or are provably held by everyone in
+    /// the non-GC scheme) — both count as seen.
+    fn seen(&self, id: IntervalId) -> bool {
+        self.log.contains_key(&id) || id.seq <= self.time.floor().get(id.node.index())
+    }
+
     /// Close the current interval if this node has written anything.
     fn close_interval(&mut self, mem: &mut FrameTable) {
         if self.twins.is_empty() {
             return;
         }
-        let seq = self.vt.inc(self.me.index());
+        let seq = self.time.tick(self.me.index());
         let twins = std::mem::take(&mut self.twins);
         let mut pages = Vec::with_capacity(twins.len());
         for (page, twin) in twins {
@@ -106,7 +218,7 @@ impl Lrc {
         let id = IntervalId::new(self.me, seq);
         let rec = IntervalRecord {
             id,
-            vc: self.vt.clone(),
+            vc: self.time.now().clone(),
             pages,
         };
         self.log.insert(id, rec);
@@ -117,17 +229,18 @@ impl Lrc {
     /// pages.
     fn ingest(&mut self, mem: &mut FrameTable, records: Vec<IntervalRecord>) {
         for rec in records {
-            // Already-known records are common (a centralized lock
-            // server deposits the releaser's full set, which can come
-            // straight back to it); skip before asserting.
-            if self.log.contains_key(&rec.id) {
+            // Already-known (a centralized lock server deposits the
+            // releaser's full set, which can come straight back) and
+            // GC-retired records (a deposit granted across a barrier)
+            // are both common; skip before asserting.
+            if self.seen(rec.id) {
                 continue;
             }
             debug_assert_ne!(
                 rec.id.node, self.me,
                 "an unknown own record cannot exist elsewhere"
             );
-            self.vt.join(&rec.vc);
+            self.time.join(&rec.vc);
             for page in &rec.pages {
                 self.missing.entry(page.0).or_default().push(rec.id);
                 // Invalidate any local copy; a concurrent local twin is
@@ -140,15 +253,32 @@ impl Lrc {
     }
 
     /// Records in our log the holder of `their_vt` has not seen.
-    fn records_missing_for(&self, their_vt: &VClock) -> Vec<IntervalRecord> {
-        let mut recs: Vec<IntervalRecord> = self
+    fn records_missing_for(&self, their_vt: &VClock) -> Vec<&IntervalRecord> {
+        let mut recs: Vec<&IntervalRecord> = self
             .log
             .values()
             .filter(|r| r.id.seq > their_vt.get(r.id.node.index()))
-            .cloned()
             .collect();
         recs.sort_by_key(|r| r.id);
         recs
+    }
+
+    /// Wire-encode records against our barrier floor (shared with any
+    /// same-epoch receiver, so steady-state clocks are tiny).
+    fn compress_floor(&self, recs: &[&IntervalRecord]) -> Vec<WireIntervalRecord> {
+        recs.iter()
+            .map(|r| WireIntervalRecord::compress(r, self.time.floor()))
+            .collect()
+    }
+
+    /// Wire-encode records against the zero clock — for deposits whose
+    /// eventual receiver (and its floor) is unknown, keeping the
+    /// modeled wire size honest.
+    fn compress_dense(&self, recs: &[&IntervalRecord]) -> Vec<WireIntervalRecord> {
+        let zero = VClock::new(self.nnodes as usize);
+        recs.iter()
+            .map(|r| WireIntervalRecord::compress(r, &zero))
+            .collect()
     }
 
     /// Start fetching whatever `page` needs; returns true if nothing
@@ -181,7 +311,9 @@ impl Lrc {
 
         if notices.is_empty() {
             // First touch, nothing known missing: a current copy from
-            // the page's home is causally sufficient.
+            // the page's home is causally sufficient. (With GC, homes
+            // are barrier-current, so this also serves re-faults on
+            // epoch-evicted pages.)
             let home = self.home_of(p);
             if home == self.me {
                 mem.install_zeroed(page, Access::Read);
@@ -199,7 +331,13 @@ impl Lrc {
                     full: None,
                 },
             );
-            io.send(home, ProtoMsg::LrcPageReq { page: p });
+            io.send(
+                home,
+                ProtoMsg::LrcPageReq {
+                    page: p,
+                    epoch: self.epoch,
+                },
+            );
             return false;
         }
 
@@ -230,7 +368,13 @@ impl Lrc {
                 }
             }
             let latest_vc = self.log[&latest].vc.clone();
-            io.send(latest.node, ProtoMsg::LrcPageReq { page: p });
+            io.send(
+                latest.node,
+                ProtoMsg::LrcPageReq {
+                    page: p,
+                    epoch: self.epoch,
+                },
+            );
             awaiting += 1;
             let mut by_creator: HashMap<NodeId, Vec<IntervalId>> = HashMap::new();
             for id in notices {
@@ -319,6 +463,30 @@ impl Lrc {
         }
         events.push(ProtoEvent::PageReady(page));
     }
+
+    /// Order interval ids causally (minimal first), interval id
+    /// breaking ties among concurrent records deterministically.
+    /// Concurrent diffs of a data-race-free program are disjoint, so
+    /// only the (total) order of comparable pairs matters.
+    fn causal_order(
+        mut ids: Vec<IntervalId>,
+        vcs: &HashMap<IntervalId, VClock>,
+    ) -> Vec<IntervalId> {
+        ids.sort_unstable();
+        let mut out = Vec::with_capacity(ids.len());
+        while !ids.is_empty() {
+            let pos = ids
+                .iter()
+                .position(|&c| {
+                    ids.iter().all(|&o| {
+                        o == c || !matches!(vcs[&o].causal_cmp(&vcs[&c]), Some(Ordering::Less))
+                    })
+                })
+                .expect("causal order always has a minimal element");
+            out.push(ids.remove(pos));
+        }
+        out
+    }
 }
 
 impl Protocol for Lrc {
@@ -332,10 +500,6 @@ impl Protocol for Lrc {
         }
     }
 
-    fn read_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
-        self.fault(io, mem, page, false)
-    }
-
     fn write_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
         self.fault(io, mem, page, true)
     }
@@ -347,9 +511,6 @@ impl Protocol for Lrc {
         pages: &[PageId],
     ) -> (bool, Vec<PageId>) {
         debug_assert!(!pages.is_empty());
-        if pages.len() == 1 {
-            return (self.read_fault(io, mem, pages[0]), Vec::new());
-        }
         let mut bio = BatchingIo::new(io);
         let resolved = self.fault(&mut bio, mem, pages[0], false);
         let mut issued = Vec::new();
@@ -379,20 +540,20 @@ impl Protocol for Lrc {
         events: &mut Vec<ProtoEvent>,
     ) {
         match msg {
-            ProtoMsg::LrcPageReq { page } => {
-                // Serve our current copy (we are the home or the latest
-                // writer; either way our bytes cover the requester's
-                // causal past).
-                if mem.page_bytes(PageId(page)).is_none() {
-                    debug_assert_eq!(self.home_of(page), self.me);
-                    mem.install_zeroed(PageId(page), Access::Read);
+            ProtoMsg::LrcPageReq { page, epoch } => {
+                if epoch > self.epoch {
+                    // The requester already survived a barrier release
+                    // that is still in flight to us: our copy may
+                    // predate the epoch image (its diffs sit unapplied
+                    // in `flushed`). Park the request; our release
+                    // serves it. Barrier semantics bound the skew to
+                    // one epoch.
+                    debug_assert!(self.gc);
+                    debug_assert_eq!(epoch, self.epoch + 1);
+                    self.deferred.push((from, page));
+                    return;
                 }
-                let data = mem
-                    .page_bytes(PageId(page))
-                    .unwrap()
-                    .to_vec()
-                    .into_boxed_slice();
-                io.send(from, ProtoMsg::LrcPageRep { page, data });
+                self.serve_page(io, mem, from, page);
             }
             ProtoMsg::LrcPageRep { page, data } => {
                 let pend = self.pending.get_mut(&page).expect("unsolicited page");
@@ -423,6 +584,23 @@ impl Protocol for Lrc {
                 pend.awaiting -= 1;
                 self.maybe_complete(mem, page, events);
             }
+            ProtoMsg::LrcFlush { diffs } => {
+                // A departing writer's epoch diffs for pages homed here.
+                // Buffer only — the causal application order arrives
+                // with the barrier release.
+                debug_assert!(self.gc);
+                for (id, page, d) in diffs {
+                    debug_assert_eq!(self.home_of(page), self.me);
+                    self.flushed.insert((id, page), d);
+                }
+                io.send(from, ProtoMsg::LrcFlushAck);
+            }
+            ProtoMsg::LrcFlushAck => {
+                self.flush_outstanding -= 1;
+                if self.flush_outstanding == 0 {
+                    events.push(ProtoEvent::FlushDone);
+                }
+            }
             other => {
                 panic!(
                     "lrc got unexpected message {}",
@@ -434,16 +612,45 @@ impl Protocol for Lrc {
 
     fn pre_release(
         &mut self,
-        _io: &mut dyn ProtoIo,
+        io: &mut dyn ProtoIo,
         mem: &mut FrameTable,
-        _lock: Option<LockId>,
+        lock: Option<LockId>,
     ) -> bool {
         self.close_interval(mem);
-        true // lazy: nothing travels at release time
+        if !self.gc || lock.is_some() {
+            return true; // lazy: nothing travels at release time
+        }
+        // Barrier departure with interval GC: push the epoch's
+        // remotely-homed diffs straight to their homes, point-to-point.
+        // The node arrives at the barrier only once every flush is
+        // acked, so by release time each home provably holds the
+        // epoch's diffs for its pages — the barrier itself then carries
+        // pure metadata. Locally-homed diffs never travel: their bytes
+        // are already where they belong.
+        let mut by_home: HashMap<NodeId, Vec<(IntervalId, usize, PageDiff)>> = HashMap::new();
+        for (&(page, seq), d) in &self.my_diffs {
+            let home = self.home_of(page);
+            if home != self.me {
+                by_home.entry(home).or_default().push((
+                    IntervalId::new(self.me, seq),
+                    page,
+                    d.clone(),
+                ));
+            }
+        }
+        let mut homes: Vec<_> = by_home.into_iter().collect();
+        homes.sort_by_key(|(h, _)| *h);
+        debug_assert_eq!(self.flush_outstanding, 0);
+        for (home, mut diffs) in homes {
+            diffs.sort_by_key(|&(id, page, _)| (id.seq, page));
+            io.send(home, ProtoMsg::LrcFlush { diffs });
+            self.flush_outstanding += 1;
+        }
+        self.flush_outstanding == 0
     }
 
     fn acquire_reqinfo(&mut self, _mem: &mut FrameTable, _lock: LockId) -> Piggy {
-        Piggy::LrcClock(self.vt.clone())
+        Piggy::LrcClock(self.time.encode_now())
     }
 
     fn grant_piggy(
@@ -455,11 +662,17 @@ impl Protocol for Lrc {
         reqinfo: &Piggy,
     ) -> Piggy {
         match reqinfo {
-            Piggy::LrcClock(their_vt) => Piggy::LrcIntervals(self.records_missing_for(their_vt)),
+            Piggy::LrcClock(their_vt) => {
+                let recs = self.records_missing_for(&their_vt.expand());
+                Piggy::LrcIntervals(self.compress_floor(&recs))
+            }
             Piggy::None => {
                 // No clock available (e.g. a centralized server grant on
-                // behalf of an unknown releaser): send everything.
-                Piggy::LrcIntervals(self.records_missing_for(&VClock::new(self.nnodes as usize)))
+                // behalf of an unknown releaser): send everything,
+                // dense-encoded (no shared floor can be assumed).
+                let zero = VClock::new(self.nnodes as usize);
+                let recs = self.records_missing_for(&zero);
+                Piggy::LrcIntervals(self.compress_dense(&recs))
             }
             other => panic!("lrc grant with unexpected reqinfo {other:?}"),
         }
@@ -474,7 +687,9 @@ impl Protocol for Lrc {
         // Centralized server: the next grantee is unknown, so deposit
         // the full record set — the documented cost of pairing LRC with
         // a central lock.
-        Piggy::LrcIntervals(self.records_missing_for(&VClock::new(self.nnodes as usize)))
+        let zero = VClock::new(self.nnodes as usize);
+        let recs = self.records_missing_for(&zero);
+        Piggy::LrcIntervals(self.compress_dense(&recs))
     }
 
     fn on_acquired(
@@ -485,77 +700,266 @@ impl Protocol for Lrc {
         piggy: Piggy,
     ) {
         match piggy {
-            Piggy::LrcIntervals(records) => self.ingest(mem, records),
+            Piggy::LrcIntervals(records) => {
+                let records = records.iter().map(|r| r.expand()).collect();
+                self.ingest(mem, records);
+                self.sample_peak();
+            }
             Piggy::None => {}
             other => panic!("lrc acquired with unexpected piggy {other:?}"),
         }
     }
 
-    fn barrier_piggy(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable) -> Piggy {
+    fn sync_depart(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable) -> Piggy {
         // pre_release already closed the interval. Only records authored
         // since the last barrier travel: the previous barrier proved
         // everyone holds everything older.
-        let floor = self.barrier_vt.get(self.me.index());
-        let mut records: Vec<IntervalRecord> = self
+        self.sample_peak();
+        let floor_me = self.time.floor().get(self.me.index());
+        let mut own: Vec<&IntervalRecord> = self
             .log
             .values()
-            .filter(|r| r.id.node == self.me && r.id.seq > floor)
-            .cloned()
+            .filter(|r| r.id.node == self.me && r.id.seq > floor_me)
             .collect();
-        records.sort_by_key(|r| r.id);
-        Piggy::LrcBarrier {
-            vt: self.vt.clone(),
-            records,
-        }
+        own.sort_by_key(|r| r.id);
+        let records = self.compress_floor(&own);
+        let vt = self.time.encode_now();
+        // Same metadata-only arrival in both modes: with GC, the
+        // epoch's diff bytes already went point-to-point to their homes
+        // (acked in pre_release) and the root reconstructs their place
+        // in the causal order from the records alone.
+        Piggy::LrcBarrier { vt, records }
     }
 
     fn merge_barrier(
         &mut self,
         _io: &mut dyn ProtoIo,
         _mem: &mut FrameTable,
-        arrivals: Vec<(NodeId, Piggy)>,
+        arrivals: Vec<SyncEnvelope<Piggy>>,
         nnodes: u32,
-    ) -> Vec<(NodeId, Piggy)> {
-        // Pool every record ever authored (each node's arrival carries
-        // its complete authored history), then hand each node exactly
-        // what its clock says it lacks.
-        let mut pool: HashMap<IntervalId, IntervalRecord> = HashMap::new();
-        let mut clocks: HashMap<NodeId, VClock> = HashMap::new();
-        for (node, piggy) in arrivals {
-            match piggy {
+    ) -> Vec<SyncEnvelope<Piggy>> {
+        if !self.gc {
+            // Pool every record authored this epoch (plus each node's
+            // clock), then hand each node exactly what its clock says
+            // it lacks.
+            let mut pool: HashMap<IntervalId, IntervalRecord> = HashMap::new();
+            let mut clocks: HashMap<NodeId, VClock> = HashMap::new();
+            for env in arrivals {
+                match env.payload {
+                    Piggy::LrcBarrier { vt, records } => {
+                        clocks.insert(env.node, vt.expand());
+                        for r in records {
+                            let rec = r.expand();
+                            pool.insert(rec.id, rec);
+                        }
+                    }
+                    other => panic!("lrc barrier arrival with {other:?}"),
+                }
+            }
+            return (0..nnodes)
+                .map(|i| {
+                    let node = NodeId(i);
+                    let vt = &clocks[&node];
+                    let mut recs: Vec<&IntervalRecord> = pool
+                        .values()
+                        .filter(|r| r.id.node != node && r.id.seq > vt.get(r.id.node.index()))
+                        .collect();
+                    recs.sort_by_key(|r| r.id);
+                    SyncEnvelope::new(node, Piggy::LrcIntervals(self.compress_floor(&recs)))
+                })
+                .collect();
+        }
+
+        // GC: compute the new global clock, causally order every page's
+        // epoch writes, and build per-node epoch-retirement payloads —
+        // ordered interval-id lists for the pages a node homes (the
+        // bytes are already there, flushed point-to-point before
+        // arrival), compacted per-page invalidation notices for its
+        // stale copies. Metadata only: O(records) bytes total.
+        let mut new_vt = VClock::new(nnodes as usize);
+        let mut vcs: HashMap<IntervalId, VClock> = HashMap::new();
+        let mut by_page: BTreeMap<usize, Vec<IntervalId>> = BTreeMap::new();
+        for env in arrivals {
+            match env.payload {
                 Piggy::LrcBarrier { vt, records } => {
-                    clocks.insert(node, vt);
+                    new_vt.join(&vt.expand());
                     for r in records {
-                        pool.insert(r.id, r);
+                        let rec = r.expand();
+                        for pg in &rec.pages {
+                            by_page.entry(pg.0).or_default().push(rec.id);
+                        }
+                        vcs.insert(rec.id, rec.vc);
                     }
                 }
-                other => panic!("lrc barrier arrival with {other:?}"),
+                other => panic!("lrc gc barrier arrival with {other:?}"),
             }
         }
+        let ordered: Vec<(usize, Vec<IntervalId>)> = by_page
+            .into_iter()
+            .map(|(page, ids)| (page, Self::causal_order(ids, &vcs)))
+            .collect();
         (0..nnodes)
             .map(|i| {
                 let node = NodeId(i);
-                let vt = &clocks[&node];
-                let mut recs: Vec<IntervalRecord> = pool
-                    .values()
-                    .filter(|r| r.id.node != node && r.id.seq > vt.get(r.id.node.index()))
-                    .cloned()
-                    .collect();
-                recs.sort_by_key(|r| r.id);
-                (node, Piggy::LrcIntervals(recs))
+                let mut homed: Vec<(usize, Vec<IntervalId>)> = Vec::new();
+                let mut invals: Vec<usize> = Vec::new();
+                for (page, ids) in &ordered {
+                    if self.home_of(*page) == node {
+                        if ids.iter().all(|id| id.node == node) {
+                            // Only the home wrote it: its copy is
+                            // already the epoch image, nothing to do.
+                            continue;
+                        }
+                        homed.push((*page, ids.clone()));
+                    } else if !ids.iter().all(|id| id.node == node) {
+                        // Someone else wrote it: any local copy is
+                        // stale. (A sole writer's own copy is current.)
+                        invals.push(*page);
+                    }
+                }
+                SyncEnvelope::new(
+                    node,
+                    Piggy::LrcEpoch {
+                        vt: self.time.encode(&new_vt),
+                        homed,
+                        invals,
+                    },
+                )
             })
             .collect()
     }
 
-    fn on_barrier_released(&mut self, _io: &mut dyn ProtoIo, mem: &mut FrameTable, piggy: Piggy) {
+    fn sync_arrive(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, piggy: Piggy) {
+        debug_assert!(self.pending.is_empty(), "faults in flight at a barrier");
+        debug_assert!(self.twins.is_empty(), "open interval at a barrier");
         match piggy {
             Piggy::LrcIntervals(records) => {
+                debug_assert!(!self.gc, "gc barrier released a non-gc payload");
+                let records = records.iter().map(|r| r.expand()).collect();
                 self.ingest(mem, records);
+                self.sample_peak();
                 // Everyone now holds everything up to the barrier.
-                self.barrier_vt = self.vt.clone();
+                self.time.advance_floor();
+            }
+            Piggy::LrcEpoch { vt, homed, invals } => {
+                debug_assert!(self.gc, "non-gc barrier released a gc payload");
+                let new_vt = vt.expand();
+                self.sample_peak();
+                // Apply the epoch's writes to our home pages, in the
+                // causal order the root computed. No bytes rode the
+                // release: our own diffs are resident, everyone else's
+                // arrived as acked point-to-point flushes before the
+                // barrier could complete. Diffs carry absolute bytes,
+                // so re-applying our own writes is idempotent.
+                for (page, ids) in homed {
+                    debug_assert_eq!(self.home_of(page), self.me);
+                    if mem.page_bytes(PageId(page)).is_none() {
+                        mem.install_zeroed(PageId(page), Access::Read);
+                    }
+                    let bytes = mem.page_bytes_mut(PageId(page)).expect("home frame exists");
+                    for id in ids {
+                        if id.node == self.me {
+                            self.my_diffs
+                                .get(&(page, id.seq))
+                                .expect("own epoch diff resident")
+                                .apply(bytes);
+                        } else {
+                            self.flushed
+                                .remove(&(id, page))
+                                .expect("epoch diff flushed before release")
+                                .apply(bytes);
+                        }
+                    }
+                    mem.set_access(PageId(page), Access::Read);
+                    self.missing.remove(&page);
+                }
+                // Drop stale copies outright: the next touch refetches
+                // from the (now current) home via the first-touch path.
+                for page in invals {
+                    mem.evict(PageId(page));
+                    self.missing.remove(&page);
+                }
+                // Retire the epoch: every record anywhere is dominated
+                // by the new global clock, so the whole log, own-diff
+                // cache, and notice table go. `flushed` is NOT cleared
+                // wholesale: a fast neighbor may have crossed the *next*
+                // barrier's pre_release before this release reached us,
+                // and its next-epoch flushes must survive. Every
+                // current-epoch flush was consumed above (a remote
+                // flush for a page always puts that page in our `homed`
+                // list), so what remains is next-epoch only.
+                debug_assert!(
+                    self.missing.is_empty(),
+                    "write notice for a page neither homed nor invalidated"
+                );
+                debug_assert!(self
+                    .flushed
+                    .keys()
+                    .all(|(id, _)| id.seq > new_vt.get(id.node.index())));
+                debug_assert!(self.log.values().all(|r| new_vt.dominates(&r.vc)));
+                self.log.clear();
+                self.my_diffs.clear();
+                self.missing.clear();
+                self.time.set_now(new_vt);
+                self.time.advance_floor();
+                self.epoch += 1;
+                // Serve page requests from nodes that outran this
+                // release: our home pages now hold the epoch image.
+                for (from, page) in std::mem::take(&mut self.deferred) {
+                    self.serve_page(io, mem, from, page);
+                }
             }
             Piggy::None => {}
             other => panic!("lrc barrier release with {other:?}"),
         }
+    }
+
+    fn gauges(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("lrc_log_records", self.log.len() as u64),
+            ("lrc_resident_bytes", self.resident_bytes()),
+            ("lrc_peak_resident_bytes", self.peak_resident),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(counts: &[u32]) -> VClock {
+        let mut v = VClock::new(counts.len());
+        for (i, &c) in counts.iter().enumerate() {
+            v.set(i, c);
+        }
+        v
+    }
+
+    #[test]
+    fn causal_order_respects_domination() {
+        let a = IntervalId::new(NodeId(0), 1);
+        let b = IntervalId::new(NodeId(1), 1);
+        let c = IntervalId::new(NodeId(2), 1);
+        let mut vcs = HashMap::new();
+        vcs.insert(a, vc(&[1, 0, 0]));
+        vcs.insert(b, vc(&[1, 1, 0])); // after a
+        vcs.insert(c, vc(&[0, 0, 1])); // concurrent with both
+        let out = Lrc::causal_order(vec![b, c, a], &vcs);
+        let pa = out.iter().position(|&x| x == a).unwrap();
+        let pb = out.iter().position(|&x| x == b).unwrap();
+        assert!(pa < pb, "dominated interval must apply first");
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn causal_order_chain_is_sequential() {
+        let ids: Vec<IntervalId> = (0..4).map(|s| IntervalId::new(NodeId(0), s + 1)).collect();
+        let mut vcs = HashMap::new();
+        for (i, &id) in ids.iter().enumerate() {
+            vcs.insert(id, vc(&[i as u32 + 1]));
+        }
+        let mut shuffled = ids.clone();
+        shuffled.reverse();
+        assert_eq!(Lrc::causal_order(shuffled, &vcs), ids);
     }
 }

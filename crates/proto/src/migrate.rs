@@ -7,7 +7,7 @@
 //! the current holder and serializes transfers.
 
 use crate::api::{BatchingIo, ProtoEvent, ProtoIo, Protocol};
-use crate::msg::ProtoMsg;
+use crate::msg::{Piggy, ProtoMsg};
 use dsm_mem::{Access, FrameTable, PageId, SpaceLayout};
 use dsm_net::NodeId;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -159,10 +159,6 @@ impl Protocol for Migrate {
         "migrate"
     }
 
-    fn read_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
-        self.fault(io, mem, page.0, false)
-    }
-
     fn write_fault(&mut self, io: &mut dyn ProtoIo, mem: &mut FrameTable, page: PageId) -> bool {
         self.fault(io, mem, page.0, false)
     }
@@ -174,9 +170,6 @@ impl Protocol for Migrate {
         pages: &[PageId],
     ) -> (bool, Vec<PageId>) {
         debug_assert!(!pages.is_empty());
-        if pages.len() == 1 {
-            return (self.read_fault(io, mem, pages[0]), Vec::new());
-        }
         let mut bio = BatchingIo::new(io);
         let resolved = self.fault(&mut bio, mem, pages[0].0, false);
         let mut issued = Vec::new();
@@ -193,6 +186,13 @@ impl Protocol for Migrate {
         }
         bio.flush();
         (resolved, issued)
+    }
+
+    /// Prefetching a single-copy page *migrates* it here, stealing it
+    /// from whoever is about to use it — E17 measured the depth-8
+    /// blowup. The runtime therefore never offers migrate candidates.
+    fn max_batch_depth(&self) -> usize {
+        1
     }
 
     fn on_message(
@@ -242,6 +242,12 @@ impl Protocol for Migrate {
             self.confirm(io, mem, page);
         }
     }
+
+    fn sync_depart(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable) -> Piggy {
+        Piggy::None
+    }
+
+    fn sync_arrive(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable, _piggy: Piggy) {}
 }
 
 #[cfg(test)]

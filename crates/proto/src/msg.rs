@@ -4,7 +4,7 @@
 //! this keeps the runtime's dispatch trivial and the traffic statistics
 //! uniform across protocols.
 
-use dsm_mem::{IntervalId, IntervalRecord, NodeSet, PageDiff, VClock};
+use dsm_mem::{IntervalId, NodeSet, PageDiff, VClockDelta, WireIntervalRecord};
 use dsm_net::{KindId, NodeId, Payload};
 use dsm_sync::SyncPiggy;
 
@@ -145,14 +145,33 @@ pub enum ProtoMsg {
         page: usize,
         diffs: Vec<(IntervalId, PageDiff)>,
     },
-    /// Fetch a full current copy (first access / no base copy).
+    /// Fetch a full current copy (first access / no base copy). Carries
+    /// the requester's GC epoch (barrier releases survived; always 0
+    /// without GC): a home that has not yet seen the release the
+    /// requester has must defer serving until its own release applies
+    /// the epoch's buffered flushes, or it would hand out pre-epoch
+    /// bytes. Modeled wire form packs page + epoch as two u32s.
     LrcPageReq {
         page: usize,
+        epoch: u64,
     },
     LrcPageRep {
         page: usize,
         data: Box<[u8]>,
     },
+    /// Epoch flush (interval GC): writer → home, the departing epoch's
+    /// diffs for pages homed at the receiver, sent point-to-point
+    /// *before* the barrier arrival so bulk data never transits the
+    /// barrier root. The home buffers them unapplied — the causal
+    /// application order arrives with the barrier release.
+    LrcFlush {
+        diffs: Vec<(IntervalId, usize, PageDiff)>,
+    },
+    /// Home → writer: epoch flush received and buffered. The writer
+    /// arrives at the barrier only after all its flushes are acked,
+    /// which is what guarantees every home holds the epoch's diffs by
+    /// release time.
+    LrcFlushAck,
 
     // ---- multi-page envelope ----
     /// Several coherence messages for the same destination in one
@@ -196,6 +215,13 @@ impl Payload for ProtoMsg {
             LrcDiffRep { diffs, .. } => {
                 8 + diffs.iter().map(|(_, d)| 8 + d.wire_bytes()).sum::<usize>()
             }
+            LrcFlush { diffs } => {
+                8 + diffs
+                    .iter()
+                    .map(|(_, _, d)| 12 + d.wire_bytes())
+                    .sum::<usize>()
+            }
+            LrcFlushAck => 8,
             Batch(msgs) => msgs.iter().map(|m| m.wire_bytes()).sum(),
         }
     }
@@ -229,6 +255,8 @@ impl Payload for ProtoMsg {
             LrcDiffRep { .. } => "LrcDiffRep",
             LrcPageReq { .. } => "LrcPageReq",
             LrcPageRep { .. } => "LrcPageRep",
+            LrcFlush { .. } => "LrcFlush",
+            LrcFlushAck => "LrcFlushAck",
             Batch(..) => "Batch",
         }
     }
@@ -263,6 +291,8 @@ impl Payload for ProtoMsg {
             LrcPageReq { .. } => 24,
             LrcPageRep { .. } => 25,
             Batch(..) => 26,
+            LrcFlush { .. } => 27,
+            LrcFlushAck => 28,
         })
     }
 }
@@ -277,18 +307,34 @@ pub type EntryUpdateLog = Vec<(u64, Vec<(u32, PageDiff)>)>;
 pub enum Piggy {
     /// No consistency information.
     None,
-    /// Acquirer's vector clock (LRC lock requests — lets the granter
-    /// send only the missing intervals).
-    LrcClock(VClock),
+    /// Acquirer's vector clock, delta-encoded against its barrier
+    /// floor (LRC lock requests — lets the granter send only the
+    /// missing intervals).
+    LrcClock(VClockDelta),
     /// Interval records the receiver is missing (LRC grants, barrier
-    /// payloads).
-    LrcIntervals(Vec<IntervalRecord>),
-    /// LRC barrier arrival: the arriver's vector clock plus every
-    /// interval record it has authored (the root computes each node's
-    /// missing set from these).
+    /// payloads), clocks delta-encoded against the sender's floor.
+    LrcIntervals(Vec<WireIntervalRecord>),
+    /// LRC barrier arrival: the arriver's clock plus the records it
+    /// authored since the last barrier. Without GC the root computes
+    /// each node's missing set from these; with GC it additionally
+    /// derives the epoch's causal diff order (the diff *bytes* traveled
+    /// point-to-point to their homes as [`ProtoMsg::LrcFlush`] before
+    /// this arrival — the barrier carries metadata only).
     LrcBarrier {
-        vt: VClock,
-        records: Vec<IntervalRecord>,
+        vt: VClockDelta,
+        records: Vec<WireIntervalRecord>,
+    },
+    /// LRC barrier release with interval GC: the global clock (the new
+    /// fleet-wide floor), the causally-ordered interval-id lists for
+    /// pages the receiver homes (the home substitutes each id's diff
+    /// from its own retained cache or its buffered epoch flushes — no
+    /// bytes travel here), and compacted per-page invalidation notices
+    /// (one entry per page written this epoch, not one per interval)
+    /// for stale copies the receiver must drop.
+    LrcEpoch {
+        vt: VClockDelta,
+        homed: Vec<(usize, Vec<IntervalId>)>,
+        invals: Vec<usize>,
     },
     /// Entry-consistency lock request info: the highest update version
     /// the acquirer has applied for this lock's regions.
@@ -327,6 +373,14 @@ impl SyncPiggy for Piggy {
             Piggy::LrcIntervals(recs) => recs.iter().map(|r| r.wire_bytes()).sum::<usize>(),
             Piggy::LrcBarrier { vt, records } => {
                 vt.wire_bytes() + records.iter().map(|r| r.wire_bytes()).sum::<usize>()
+            }
+            Piggy::LrcEpoch { vt, homed, invals } => {
+                vt.wire_bytes()
+                    + homed
+                        .iter()
+                        .map(|(_, ids)| 8 + ids.len() * 8)
+                        .sum::<usize>()
+                    + invals.len() * 4
             }
             Piggy::EntryVer(_) => 8,
             Piggy::EntryLog(entries) => entries
@@ -395,8 +449,13 @@ mod tests {
         let dw = d.wire_bytes();
         let p = Piggy::EntryLog(vec![(1, vec![(0, d)])]);
         assert_eq!(p.wire_bytes(), 12 + 8 + dw);
-        let vc = VClock::new(8);
-        assert_eq!(Piggy::LrcClock(vc).wire_bytes(), 32);
+        // Delta clocks cost a fixed tag plus 8 bytes per changed
+        // component, independent of N.
+        let mut vc = dsm_mem::VClock::new(64);
+        vc.set(3, 7);
+        vc.set(41, 2);
+        let d = VClockDelta::dense(&vc);
+        assert_eq!(Piggy::LrcClock(d).wire_bytes(), 8 + 16);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! producer-consumer handoffs cost no reader-side round trips.
 
 use crate::api::{ProtoEvent, ProtoIo, Protocol, WriteOutcome};
-use crate::msg::ProtoMsg;
+use crate::msg::{Piggy, ProtoMsg};
 use dsm_mem::{Access, FrameTable, GlobalAddr, NodeSet, PageId, SpaceLayout};
 use dsm_net::NodeId;
 use std::collections::HashMap;
@@ -99,13 +99,23 @@ impl Protocol for Update {
         }
     }
 
-    fn read_fault(&mut self, io: &mut dyn ProtoIo, _mem: &mut FrameTable, page: PageId) -> bool {
+    fn read_fault_batch(
+        &mut self,
+        io: &mut dyn ProtoIo,
+        _mem: &mut FrameTable,
+        pages: &[PageId],
+    ) -> (bool, Vec<PageId>) {
+        // One fetch at a time (a new copy holder must observe the
+        // per-page update stream gaplessly from its fetch sequence
+        // number), so prefetch candidates are ignored.
+        debug_assert!(!pages.is_empty());
+        let page = pages[0];
         let home = self.home_of(page.0);
         assert_ne!(home, self.me, "home cannot read-fault on its master copy");
         assert!(self.pending_fetch.is_none());
         self.pending_fetch = Some(page.0);
         io.send(home, ProtoMsg::FetchReq { page: page.0 });
-        false
+        (false, Vec::new())
     }
 
     fn write_fault(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable, _page: PageId) -> bool {
@@ -220,4 +230,12 @@ impl Protocol for Update {
             }
         }
     }
+
+    fn sync_depart(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable) -> Piggy {
+        // Writes are home-sequenced and acked before the sync op
+        // starts; barriers carry nothing.
+        Piggy::None
+    }
+
+    fn sync_arrive(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable, _piggy: Piggy) {}
 }

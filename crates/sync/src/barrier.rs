@@ -5,7 +5,7 @@
 //! runtime merges them there (protocol-specific), and per-node payloads
 //! flow back down with the release.
 
-use crate::msg::{BarrierId, SyncIo, SyncMsg, SyncPiggy};
+use crate::msg::{BarrierId, SyncEnvelope, SyncIo, SyncMsg, SyncPiggy};
 use dsm_net::NodeId;
 use std::collections::HashMap;
 
@@ -26,7 +26,7 @@ pub enum BarrierEvent<P> {
     /// call [`BarrierEngine::release`] with one payload per node.
     AllArrived {
         id: BarrierId,
-        contributions: Vec<(NodeId, P)>,
+        contributions: Vec<SyncEnvelope<P>>,
     },
     /// This node has been released from the barrier with `piggy`.
     Released { id: BarrierId, piggy: P },
@@ -36,7 +36,7 @@ pub enum BarrierEvent<P> {
 struct PerBarrier<P> {
     /// Contributions gathered from this node's subtree (including its
     /// own) for the current episode.
-    gathered: Vec<(NodeId, P)>,
+    gathered: Vec<SyncEnvelope<P>>,
     /// Whether this node itself has arrived in the current episode.
     arrived_self: bool,
 }
@@ -136,7 +136,7 @@ impl<P: SyncPiggy> BarrierEngine<P> {
         let s = self.state.entry(id).or_default();
         assert!(!s.arrived_self, "{me} arrived twice at barrier {id}");
         s.arrived_self = true;
-        s.gathered.push((me, piggy));
+        s.gathered.push(SyncEnvelope::new(me, piggy));
         self.maybe_propagate(io, id, events);
     }
 
@@ -147,7 +147,7 @@ impl<P: SyncPiggy> BarrierEngine<P> {
         &mut self,
         io: &mut dyn SyncIo<P>,
         id: BarrierId,
-        mut releases: Vec<(NodeId, P)>,
+        mut releases: Vec<SyncEnvelope<P>>,
         events: &mut Vec<BarrierEvent<P>>,
     ) {
         assert_eq!(self.me, NodeId(0), "only the root releases");
@@ -155,8 +155,9 @@ impl<P: SyncPiggy> BarrierEngine<P> {
         // Partition by child subtree; keep our own.
         for child in self.children(NodeId(0)) {
             let members = self.subtree_members(child);
-            let (for_child, rest): (Vec<_>, Vec<_>) =
-                releases.into_iter().partition(|(n, _)| members.contains(n));
+            let (for_child, rest): (Vec<_>, Vec<_>) = releases
+                .into_iter()
+                .partition(|e| members.contains(&e.node));
             releases = rest;
             io.send(
                 child,
@@ -167,10 +168,13 @@ impl<P: SyncPiggy> BarrierEngine<P> {
             );
         }
         debug_assert_eq!(releases.len(), 1);
-        let (n, piggy) = releases.pop().unwrap();
-        debug_assert_eq!(n, NodeId(0));
+        let env = releases.pop().unwrap();
+        debug_assert_eq!(env.node, NodeId(0));
         self.reset(id);
-        events.push(BarrierEvent::Released { id, piggy });
+        events.push(BarrierEvent::Released {
+            id,
+            piggy: env.payload,
+        });
     }
 
     /// Feed a barrier-related message into the engine.
@@ -192,13 +196,14 @@ impl<P: SyncPiggy> BarrierEngine<P> {
                 let me = self.me;
                 let idx = releases
                     .iter()
-                    .position(|(n, _)| *n == me)
+                    .position(|e| e.node == me)
                     .expect("release must include this node");
-                let (_, piggy) = releases.swap_remove(idx);
+                let piggy = releases.swap_remove(idx).payload;
                 for child in self.children(me) {
                     let members = self.subtree_members(child);
-                    let (for_child, rest): (Vec<_>, Vec<_>) =
-                        releases.into_iter().partition(|(n, _)| members.contains(n));
+                    let (for_child, rest): (Vec<_>, Vec<_>) = releases
+                        .into_iter()
+                        .partition(|e| members.contains(&e.node));
                     releases = rest;
                     if !for_child.is_empty() {
                         io.send(
@@ -300,7 +305,7 @@ mod tests {
             NodeId(1),
             SyncMsg::BarArrive {
                 id: 0,
-                contributions: vec![(NodeId(1), ())],
+                contributions: vec![SyncEnvelope::new(NodeId(1), ())],
             },
             &mut ev,
         );
@@ -310,7 +315,7 @@ mod tests {
             NodeId(2),
             SyncMsg::BarArrive {
                 id: 0,
-                contributions: vec![(NodeId(2), ())],
+                contributions: vec![SyncEnvelope::new(NodeId(2), ())],
             },
             &mut ev,
         );
@@ -322,7 +327,11 @@ mod tests {
         }
         // Release: root sends to each leaf and releases itself.
         ev.clear();
-        let releases = vec![(NodeId(0), ()), (NodeId(1), ()), (NodeId(2), ())];
+        let releases = vec![
+            SyncEnvelope::new(NodeId(0), ()),
+            SyncEnvelope::new(NodeId(1), ()),
+            SyncEnvelope::new(NodeId(2), ()),
+        ];
         e.release(&mut io, 0, releases, &mut ev);
         assert!(matches!(ev[0], BarrierEvent::Released { id: 0, .. }));
         assert_eq!(io.sent.len(), 2);
@@ -345,7 +354,7 @@ mod tests {
             NodeId(0),
             SyncMsg::BarRelease {
                 id: 7,
-                releases: vec![(NodeId(2), ())],
+                releases: vec![SyncEnvelope::new(NodeId(2), ())],
             },
             &mut ev,
         );
@@ -379,7 +388,7 @@ mod tests {
             NodeId(3),
             SyncMsg::BarArrive {
                 id: 0,
-                contributions: vec![(NodeId(3), ())],
+                contributions: vec![SyncEnvelope::new(NodeId(3), ())],
             },
             &mut ev,
         );
@@ -391,7 +400,7 @@ mod tests {
             NodeId(4),
             SyncMsg::BarArrive {
                 id: 0,
-                contributions: vec![(NodeId(4), ())],
+                contributions: vec![SyncEnvelope::new(NodeId(4), ())],
             },
             &mut ev,
         );
@@ -412,7 +421,11 @@ mod tests {
             sent: Vec::new(),
         };
         let mut ev = Vec::new();
-        let releases = vec![(NodeId(1), ()), (NodeId(3), ()), (NodeId(4), ())];
+        let releases = vec![
+            SyncEnvelope::new(NodeId(1), ()),
+            SyncEnvelope::new(NodeId(3), ()),
+            SyncEnvelope::new(NodeId(4), ()),
+        ];
         e.on_message(
             &mut io,
             NodeId(0),

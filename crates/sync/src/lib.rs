@@ -20,5 +20,5 @@ mod standalone;
 
 pub use barrier::{BarrierEngine, BarrierEvent, BarrierKind};
 pub use lock::{lock_home, LockEngine, LockEvent, LockKind, ReleaseAction};
-pub use msg::{BarrierId, LockId, SyncIo, SyncMsg, SyncPiggy};
+pub use msg::{BarrierId, LockId, SyncEnvelope, SyncIo, SyncMsg, SyncPiggy};
 pub use standalone::{SyncNode, SyncOp};

@@ -31,6 +31,30 @@ impl SyncPiggy for () {
     }
 }
 
+/// One node's consistency payload inside a barrier arrival or release
+/// — the unified envelope the barrier engines route up and down the
+/// tree. Protocols produce one per node in `sync_depart` and consume
+/// their own in `sync_arrive`.
+#[derive(Debug, Clone)]
+pub struct SyncEnvelope<P> {
+    pub node: NodeId,
+    pub payload: P,
+}
+
+impl<P> SyncEnvelope<P> {
+    pub fn new(node: NodeId, payload: P) -> Self {
+        SyncEnvelope { node, payload }
+    }
+
+    /// Modeled wire size: node tag + payload.
+    pub fn wire_bytes(&self) -> usize
+    where
+        P: SyncPiggy,
+    {
+        4 + self.payload.wire_bytes()
+    }
+}
+
 /// Messages exchanged by the lock and barrier engines.
 #[derive(Debug, Clone)]
 pub enum SyncMsg<P> {
@@ -56,13 +80,13 @@ pub enum SyncMsg<P> {
     /// subtree (a single node for the centralized barrier).
     BarArrive {
         id: BarrierId,
-        contributions: Vec<(NodeId, P)>,
+        contributions: Vec<SyncEnvelope<P>>,
     },
     /// Barrier release flowing back down, carrying per-node payloads
     /// for every node in the receiver's subtree.
     BarRelease {
         id: BarrierId,
-        releases: Vec<(NodeId, P)>,
+        releases: Vec<SyncEnvelope<P>>,
     },
 }
 
@@ -74,16 +98,10 @@ impl<P: SyncPiggy> Payload for SyncMsg<P> {
             SyncMsg::LockGrant { piggy, .. } => 4 + piggy.wire_bytes(),
             SyncMsg::LockRel { piggy, .. } => 4 + piggy.wire_bytes(),
             SyncMsg::BarArrive { contributions, .. } => {
-                4 + contributions
-                    .iter()
-                    .map(|(_, p)| 4 + p.wire_bytes())
-                    .sum::<usize>()
+                4 + contributions.iter().map(|e| e.wire_bytes()).sum::<usize>()
             }
             SyncMsg::BarRelease { releases, .. } => {
-                4 + releases
-                    .iter()
-                    .map(|(_, p)| 4 + p.wire_bytes())
-                    .sum::<usize>()
+                4 + releases.iter().map(|e| e.wire_bytes()).sum::<usize>()
             }
         }
     }
@@ -132,7 +150,10 @@ mod tests {
         assert_eq!(m.wire_bytes(), 4);
         let m: SyncMsg<()> = SyncMsg::BarArrive {
             id: 0,
-            contributions: vec![(NodeId(0), ()), (NodeId(1), ())],
+            contributions: vec![
+                SyncEnvelope::new(NodeId(0), ()),
+                SyncEnvelope::new(NodeId(1), ()),
+            ],
         };
         assert_eq!(m.wire_bytes(), 4 + 8);
         assert_eq!(m.kind(), "BarArrive");

@@ -50,12 +50,13 @@ fn streaming(dsm: &Dsm<'_>) -> u64 {
         dsm.write_u64(GlobalAddr(base + off), (base + off) as u64 + 1);
     }
     dsm.barrier(0);
-    dsm.hint_range(GlobalAddr(0), HEAP);
     let mut sum = 0u64;
-    for off in (0..HEAP).step_by(8) {
-        sum = sum.wrapping_add(dsm.read_u64(GlobalAddr(off)));
+    {
+        let _window = dsm.prefetch_window(GlobalAddr(0), HEAP);
+        for off in (0..HEAP).step_by(8) {
+            sum = sum.wrapping_add(dsm.read_u64(GlobalAddr(off)));
+        }
     }
-    dsm.clear_hint();
     dsm.barrier(1);
     sum
 }
@@ -131,7 +132,7 @@ fn same_seed_reproducible_at_every_depth() {
 fn depth8_beats_depth1_on_streaming_reads() {
     for proto in [
         ProtocolKind::IvyDynamic,
-        ProtocolKind::Migrate,
+        ProtocolKind::IvyFixed,
         ProtocolKind::Lrc,
     ] {
         let d1 = run_streaming(&cfg(proto, 1));
@@ -161,6 +162,17 @@ fn depth8_beats_depth1_on_streaming_reads() {
     }
 }
 
+/// Protocols whose transaction machinery admits one in-flight fetch
+/// report `max_batch_depth() == 1`; the runtime clamps, so a configured
+/// depth 8 is bit-identical to depth 1 — not merely equivalent.
+#[test]
+fn per_protocol_depth_clamp_is_bit_identical() {
+    let d1 = run_streaming(&cfg(ProtocolKind::Migrate, 1));
+    let d8 = run_streaming(&cfg(ProtocolKind::Migrate, 8));
+    assert_eq!(d1, d8, "migrate must clamp batch depth to 1");
+    assert_eq!(d8.stats.kind("Batch").count, 0, "migrate must never batch");
+}
+
 /// Writes and sync ops after a hinted read: the fault queue drains
 /// before the read op completes, so a write to a just-prefetched page
 /// and an immediate barrier are both safe, at every depth.
@@ -180,7 +192,7 @@ fn queue_drains_before_writes_and_sync() {
                 // Hint the neighbor's whole block, read only its first
                 // word (prefetches queue for the rest of the window)...
                 let peer = ((me + 1) % NODES as usize) * slice;
-                dsm.hint_range(GlobalAddr(peer), slice);
+                let _window = dsm.prefetch_window(GlobalAddr(peer), slice);
                 let first = dsm.read_u64(GlobalAddr(peer));
                 // ...then immediately write into a page the queue just
                 // prefetched, and hit a barrier with no intervening
@@ -218,7 +230,7 @@ fn oversized_hint_window_clamps_to_depth() {
             }
             dsm.barrier(0);
             // Window covers the entire heap — three times the depth.
-            dsm.hint_range(GlobalAddr(0), HEAP);
+            let _window = dsm.prefetch_window(GlobalAddr(0), HEAP);
             let mut sum = 0u64;
             for off in (0..HEAP).step_by(8) {
                 sum = sum.wrapping_add(dsm.read_u64(GlobalAddr(off)));

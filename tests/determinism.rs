@@ -41,6 +41,10 @@ fn quiesce_and_image(dsm: &Dsm<'_>, heap: usize) -> Vec<u8> {
 }
 
 fn run_sor(proto: ProtocolKind, fast_path: bool) -> Trace<u64> {
+    run_sor_gc(proto, fast_path, true)
+}
+
+fn run_sor_gc(proto: ProtocolKind, fast_path: bool, lrc_gc: bool) -> Trace<u64> {
     let p = sor::SorParams {
         n: 16,
         iters: 2,
@@ -50,7 +54,8 @@ fn run_sor(proto: ProtocolKind, fast_path: bool) -> Trace<u64> {
     let cfg = DsmConfig::new(NODES, proto)
         .heap_bytes(heap)
         .model(model())
-        .fast_path(fast_path);
+        .fast_path(fast_path)
+        .lrc_gc(lrc_gc);
     let res = dsm_core::run_dsm(&cfg, |dsm: &Dsm<'_>| {
         let sum = sor::run(dsm, &p);
         (sum.to_bits(), quiesce_and_image(dsm, heap))
@@ -63,6 +68,10 @@ fn run_sor(proto: ProtocolKind, fast_path: bool) -> Trace<u64> {
 }
 
 fn run_taskqueue(proto: ProtocolKind, fast_path: bool) -> Trace<(u64, u64, u64)> {
+    run_taskqueue_gc(proto, fast_path, true)
+}
+
+fn run_taskqueue_gc(proto: ProtocolKind, fast_path: bool, lrc_gc: bool) -> Trace<(u64, u64, u64)> {
     let p = taskqueue::TaskQueueParams {
         tasks: 8,
         task_time: Dur::millis(2),
@@ -75,6 +84,7 @@ fn run_taskqueue(proto: ProtocolKind, fast_path: bool) -> Trace<(u64, u64, u64)>
         .heap_bytes(heap)
         .model(model())
         .fast_path(fast_path)
+        .lrc_gc(lrc_gc)
         .bind(lock, addr, len);
     let res = dsm_core::run_dsm(&cfg, |dsm: &Dsm<'_>| {
         let r = taskqueue::run(dsm, &p);
@@ -128,5 +138,42 @@ fn taskqueue_fast_path_matches_slow_path() {
             fast, slow,
             "{proto}: taskqueue fast path diverged from slow path"
         );
+    }
+}
+
+/// LRC interval GC must be invisible to the application: same seed, GC
+/// on vs off, every protocol — bit-identical per-node results and final
+/// memory images. Only outputs are compared: with GC the epoch's diffs
+/// travel on barrier messages instead of lazy diff fetches, so timing
+/// and the traffic table legitimately differ (for LRC; for the other
+/// seven protocols the knob must be completely inert, which the same
+/// assertion proves for free).
+#[test]
+fn sor_outputs_identical_gc_on_and_off() {
+    for proto in ProtocolKind::ALL {
+        let on = run_sor_gc(proto, true, true);
+        let off = run_sor_gc(proto, true, false);
+        assert_eq!(
+            on.results, off.results,
+            "{proto}: SOR outputs differ between GC on and off"
+        );
+        if proto != ProtocolKind::Lrc {
+            assert_eq!(on, off, "{proto}: lrc_gc knob must be inert");
+        }
+    }
+}
+
+#[test]
+fn taskqueue_outputs_identical_gc_on_and_off() {
+    for proto in ProtocolKind::ALL {
+        let on = run_taskqueue_gc(proto, true, true);
+        let off = run_taskqueue_gc(proto, true, false);
+        assert_eq!(
+            on.results, off.results,
+            "{proto}: taskqueue outputs differ between GC on and off"
+        );
+        if proto != ProtocolKind::Lrc {
+            assert_eq!(on, off, "{proto}: lrc_gc knob must be inert");
+        }
     }
 }

@@ -17,7 +17,7 @@
 //! outputs are independent of message timing, which is exactly what
 //! lets loss-induced delays stay invisible.
 
-use dsm_apps::sor;
+use dsm_apps::{matmul, sor};
 use dsm_core::{
     CostModel, Dsm, DsmConfig, Dur, FaultPlan, GlobalAddr, NetStats, ProtocolKind, SimTime,
 };
@@ -117,6 +117,45 @@ fn lossy_results_match_lossless_at_20_percent_drop() {
             "{proto}: heavy loss recovered without a single retransmit?"
         );
     }
+}
+
+/// Regression: LRC interval GC under release-delivery skew. Fault-
+/// induced delays can hand one node its barrier release long before
+/// another's arrives; the early node then faults on an epoch-evicted
+/// page and fetches from a home that has not applied the epoch's
+/// buffered flushes yet. The home must defer serving (epoch-tagged
+/// `LrcPageReq`) or it hands out pre-epoch bytes — this failed as a
+/// silent wrong-result before the deferral existed, and it needs more
+/// nodes than the SOR tests above to open the skew window.
+#[test]
+fn lrc_gc_survives_release_skew_under_loss() {
+    let p = matmul::MatmulParams { n: 48 };
+    let heap = p.heap_bytes();
+    let run = |plan: FaultPlan, gc: bool| {
+        let cfg = DsmConfig::new(8, ProtocolKind::Lrc)
+            .heap_bytes(heap)
+            .model(model(plan))
+            .lrc_gc(gc);
+        dsm_core::run_dsm(&cfg, |dsm: &Dsm<'_>| {
+            let sum = matmul::run(dsm, &p);
+            (sum.to_bits(), quiesce_and_image(dsm, heap))
+        })
+        .results
+    };
+    let lossless = run(FaultPlan::NONE, true);
+    for seed in [9, 1234, 77] {
+        let plan = FaultPlan::lossy(0.20, 0.10, seed).with_spikes(0.2, Dur::millis(5));
+        assert_eq!(
+            run(plan.clone(), true),
+            lossless,
+            "lrc gc: wrong result under loss with fault seed {seed}"
+        );
+    }
+    assert_eq!(
+        run(FaultPlan::NONE, false),
+        lossless,
+        "gc on/off disagree on the lossless matmul result"
+    );
 }
 
 /// Different fault seeds give different fault patterns (the plan is
