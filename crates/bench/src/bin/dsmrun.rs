@@ -26,6 +26,7 @@ struct Args {
     lrc_gc: bool,
     batch_depth: usize,
     quantum_us: u64,
+    workers: usize,
     drop_prob: f64,
     dup_prob: f64,
     fault_seed: u64,
@@ -45,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         lrc_gc: true,
         batch_depth: 1,
         quantum_us: 0, // 0 = keep the built-in MAX_LOCAL_QUANTUM
+        workers: 0,    // 0 = DsmConfig default (DSM_WORKERS env or 1)
         drop_prob: 0.0,
         dup_prob: 0.0,
         fault_seed: 1,
@@ -102,6 +104,7 @@ fn parse_args() -> Result<Args, String> {
             "--no-lrc-gc" => args.lrc_gc = false,
             "--batch-depth" => args.batch_depth = val()?.parse().map_err(|e| format!("{e}"))?,
             "--quantum-us" => args.quantum_us = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => args.workers = val()?.parse().map_err(|e| format!("{e}"))?,
             "--drop-prob" => args.drop_prob = val()?.parse().map_err(|e| format!("{e}"))?,
             "--dup-prob" => args.dup_prob = val()?.parse().map_err(|e| format!("{e}"))?,
             "--fault-seed" => args.fault_seed = val()?.parse().map_err(|e| format!("{e}"))?,
@@ -120,7 +123,7 @@ fn main() {
                 "usage: dsmrun --app <name> --proto <name> [--nodes N] [--page B] \
                  [--size S] [--placement P] [--lock K] [--barrier K] \
                  [--no-fast-path] [--no-lrc-gc] [--batch-depth D] [--quantum-us U] \
-                 [--drop-prob P] [--dup-prob P] [--fault-seed S] | --list"
+                 [--workers W] [--drop-prob P] [--dup-prob P] [--fault-seed S] | --list"
             );
             std::process::exit(2);
         }
@@ -138,6 +141,11 @@ fn main() {
             .batch_depth(a.batch_depth)
             .max_events(2_000_000_000)
             .faults(FaultPlan::lossy(a.drop_prob, a.dup_prob, a.fault_seed));
+        let cfg = if a.workers > 0 {
+            cfg.workers(a.workers)
+        } else {
+            cfg
+        };
         if a.quantum_us > 0 {
             cfg.local_quantum(Dur::micros(a.quantum_us))
         } else {
@@ -145,7 +153,13 @@ fn main() {
         }
     };
 
-    let (end, stats, verdict) = match a.app.as_str() {
+    /// Simulator-throughput triple pulled off a run result: (events,
+    /// workers, events/sec wall-clock).
+    fn thru<V>(res: &dsm_core::RunResult<V>) -> (u64, usize, f64) {
+        (res.events, res.workers, res.events_per_sec())
+    }
+
+    let (end, stats, verdict, (events, workers, eps)) = match a.app.as_str() {
         "sor" => {
             let p = sor::SorParams {
                 n: if a.size == 0 { 128 } else { a.size },
@@ -156,7 +170,10 @@ fn main() {
             let ok = res.results.iter().enumerate().all(|(i, &got)| {
                 (got - sor::reference_block_sum(&p, a.nodes as usize, i)).abs() < 1e-9
             });
-            (res.end_time, res.stats, ok)
+            {
+                let t = thru(&res);
+                (res.end_time, res.stats, ok, t)
+            }
         }
         "jacobi" => {
             let p = jacobi::JacobiParams {
@@ -168,7 +185,10 @@ fn main() {
             let ok = res.results.iter().enumerate().all(|(i, &got)| {
                 (got - jacobi::reference_block_sum(&p, a.nodes as usize, i)).abs() < 1e-9
             });
-            (res.end_time, res.stats, ok)
+            {
+                let t = thru(&res);
+                (res.end_time, res.stats, ok, t)
+            }
         }
         "matmul" => {
             let p = matmul::MatmulParams {
@@ -179,7 +199,10 @@ fn main() {
             let ok = res.results.iter().enumerate().all(|(i, &got)| {
                 (got - matmul::reference_block_sum(&p, a.nodes as usize, i)).abs() < 1e-9
             });
-            (res.end_time, res.stats, ok)
+            {
+                let t = thru(&res);
+                (res.end_time, res.stats, ok, t)
+            }
         }
         "gauss" => {
             let p = gauss::GaussParams {
@@ -193,7 +216,10 @@ fn main() {
                 .results
                 .iter()
                 .all(|x| x.iter().zip(&want).all(|(g, w)| (g - w).abs() < 1e-9));
-            (res.end_time, res.stats, ok)
+            {
+                let t = thru(&res);
+                (res.end_time, res.stats, ok, t)
+            }
         }
         "fft" => {
             let s = if a.size == 0 { 64 } else { a.size };
@@ -203,7 +229,10 @@ fn main() {
             let ok = res.results.iter().enumerate().all(|(i, &got)| {
                 (got - fft::reference_block_sum(&p, a.nodes as usize, i)).abs() < 1e-6
             });
-            (res.end_time, res.stats, ok)
+            {
+                let t = thru(&res);
+                (res.end_time, res.stats, ok, t)
+            }
         }
         "sort" => {
             let p = sort::SortParams {
@@ -221,7 +250,10 @@ fn main() {
                     }
                 });
             let ok = res.results[0] == want;
-            (res.end_time, res.stats, ok)
+            {
+                let t = thru(&res);
+                (res.end_time, res.stats, ok, t)
+            }
         }
         "taskqueue" => {
             let p = taskqueue::TaskQueueParams {
@@ -237,7 +269,8 @@ fn main() {
             let res = dsm_core::run_dsm(&cfg, move |d: &Dsm<'_>| taskqueue::run(d, &p));
             let sum: u64 = res.results.iter().map(|r| r.id_sum).sum();
             let xor: u64 = res.results.iter().fold(0, |x, r| x ^ r.id_xor);
-            (res.end_time, res.stats, (sum, xor) == (ws, wx))
+            let t = thru(&res);
+            (res.end_time, res.stats, (sum, xor) == (ws, wx), t)
         }
         "tsp" => {
             let p = tsp::TspParams {
@@ -252,7 +285,10 @@ fn main() {
             let want = tsp::reference(&p);
             let res = dsm_core::run_dsm(&cfg, move |d: &Dsm<'_>| tsp::run(d, &p));
             let ok = res.results.iter().all(|&b| b == want);
-            (res.end_time, res.stats, ok)
+            {
+                let t = thru(&res);
+                (res.end_time, res.stats, ok, t)
+            }
         }
         other => {
             eprintln!("dsmrun: unknown app {other} (try --list)");
@@ -286,6 +322,9 @@ fn main() {
         );
     }
     println!("virtual completion time: {end}");
+    // Wall-clock throughput goes to stderr: stdout stays byte-identical
+    // across repeats (the determinism contract `diff` checks ride on).
+    eprintln!("simulator: {events} events, {workers} worker(s), {eps:.0} events/sec");
     println!("verification: {}", if verdict { "OK" } else { "MISMATCH" });
     println!("\n{stats}");
     if !verdict {

@@ -1,0 +1,24 @@
+//! The N=1024 SOR smoke point (see `e02_sor_n1024` in the scaling
+//! experiments). One fixed size — no `--quick` variant; worker count
+//! comes from `DSM_WORKERS`. `--json` writes `BENCH_e2_sor_n1024.json`
+//! with the wall-clock/throughput record for the CI artifact.
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    if json {
+        dsm_bench::json::enable();
+    }
+    dsm_bench::experiments::e02_sor_n1024();
+    if json {
+        match dsm_bench::json::write_all(std::path::Path::new(".")) {
+            Ok(files) => {
+                for f in files {
+                    eprintln!("wrote {f}");
+                }
+            }
+            Err(e) => {
+                eprintln!("e02_sor_n1024: failed to write JSON output: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,10 +1,29 @@
 //! Regenerate every experiment table. `--quick` for the fast variant;
 //! `--json` additionally writes one `BENCH_<exp>.json` per instrumented
-//! experiment (completion time, messages, bytes per configuration) into
-//! the current directory.
+//! experiment (completion time, messages, bytes, and simulator
+//! throughput per configuration) into the current directory;
+//! `--workers N` spreads every simulation's kernel across N worker
+//! threads (same numbers, less wall-clock — equivalent to setting
+//! `DSM_WORKERS=N`).
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let json = std::env::args().any(|a| a == "--json");
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--workers" {
+            let Some(w) = it
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&w| w >= 1)
+            else {
+                eprintln!("run_all: --workers needs a positive integer");
+                std::process::exit(2);
+            };
+            // Experiments build their DsmConfigs deep inside the table
+            // generators; the env default is the one hook they all read.
+            std::env::set_var("DSM_WORKERS", w.to_string());
+        }
+    }
     let scale = if quick {
         dsm_bench::Scale::Quick
     } else {

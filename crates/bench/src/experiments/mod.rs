@@ -17,7 +17,7 @@ pub use faults::e16_faults;
 pub use memory::{e05_false_sharing, e06_erc_vs_lrc, e09_diffs};
 pub use meta::e18_lrc_meta;
 pub use scaling::{
-    e01_managers, e02_sor, e03_matmul, e04_gauss, e11_entry_vs_lrc, e12_tsp, e15_fft,
+    e01_managers, e02_sor, e02_sor_n1024, e03_matmul, e04_gauss, e11_entry_vs_lrc, e12_tsp, e15_fft,
 };
 pub use sync_and_vm::{e07_locks, e08_barriers, e10_vm_costs};
 

@@ -227,6 +227,56 @@ pub fn e03_matmul(scale: Scale) {
     );
 }
 
+/// E2-wide — SOR at N=1024 nodes (one interior grid row per node), the
+/// large-scale point the sharded kernel exists for. Deliberately not
+/// part of [`super::run_all`]: it is the CI smoke job with a wall-clock
+/// budget and the source of the N=1024 rows in docs/PERF.md, so it runs
+/// alone. Worker count comes from `DsmConfig`'s default (the
+/// `DSM_WORKERS` environment variable), and the batched fault pipeline
+/// is on — at this scale the rendezvous count, not the event count, is
+/// the wall-clock driver.
+pub fn e02_sor_n1024() {
+    let p = sor::SorParams {
+        n: 1026,
+        iters: 2,
+        omega: 1.25,
+    };
+    let protos = [ProtocolKind::Lrc, ProtocolKind::IvyFixed];
+    let mut times: Vec<Series> = protos.iter().map(|k| Series::new(k.name())).collect();
+    let mut eps: Vec<Series> = protos.iter().map(|k| Series::new(k.name())).collect();
+    for (pi, &proto) in protos.iter().enumerate() {
+        let cfg = DsmConfig::new(1024, proto)
+            .heap_bytes(p.heap_bytes())
+            .page_size(4096)
+            .placement(Placement::Block)
+            .batch_depth(8)
+            .max_events(400_000_000);
+        let res = dsm_core::run_dsm(&cfg, move |dsm: &Dsm<'_>| {
+            sor::run(dsm, &p);
+        });
+        crate::json::record_run(
+            "e2_sor_n1024",
+            &format!("{} nodes=1024", proto.name()),
+            &res,
+        );
+        times[pi].push(res.end_time.as_millis_f64());
+        eps[pi].push(res.events_per_sec());
+    }
+    let xs = xs_of(&[1024u32]);
+    print_table(
+        "E2-wide: SOR, N=1024 — completion time (ms)",
+        "nodes",
+        &xs,
+        &times,
+    );
+    print_table(
+        "E2-wide: SOR, N=1024 — simulator throughput (events/sec)",
+        "nodes",
+        &xs,
+        &eps,
+    );
+}
+
 /// E4 — Gaussian elimination speedup (pivot-row broadcast: update
 /// pushes once, invalidation re-fetches per node).
 pub fn e04_gauss(scale: Scale) {

@@ -3,19 +3,25 @@
 //! `run_all --json` enables the sink before running the suite; the
 //! instrumented experiments then record one entry per configuration
 //! run, and [`write_all`] writes a `BENCH_<exp>.json` file per
-//! experiment with the completion time, message count, and byte count
-//! of every configuration. The JSON is hand-rolled (the workspace has
-//! no serde) but the shape is fixed:
+//! experiment with the completion time, traffic, and simulator
+//! throughput of every configuration. The JSON is hand-rolled (the
+//! workspace has no serde) but the shape is fixed:
 //!
 //! ```json
 //! {
 //!   "experiment": "e02_sor",
 //!   "runs": [
 //!     {"config": "IvyFixed nodes=4", "completion_ms": 12.5,
-//!      "msgs": 1234, "bytes": 56789}
+//!      "msgs": 1234, "bytes": 56789, "wall_ms": 18.3,
+//!      "events": 91011, "events_per_sec": 4975000.0, "workers": 4}
 //!   ]
 //! }
 //! ```
+//!
+//! `wall_ms`/`events`/`events_per_sec`/`workers` are the perf-trajectory
+//! axis: virtual completion time is invariant across machines and
+//! worker counts, but events/sec is the simulator's own throughput and
+//! is what the sharded kernel is supposed to move.
 
 use std::sync::Mutex;
 
@@ -26,6 +32,22 @@ struct Record {
     completion_ms: f64,
     msgs: u64,
     bytes: u64,
+    /// Wall-clock duration of the run in milliseconds.
+    wall_ms: f64,
+    /// Kernel events processed (summed across shards).
+    events: u64,
+    /// Kernel worker threads the run used.
+    workers: usize,
+}
+
+impl Record {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.events as f64 / (self.wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
 }
 
 static SINK: Mutex<Option<Vec<Record>>> = Mutex::new(None);
@@ -41,8 +63,19 @@ pub fn enabled() -> bool {
 }
 
 /// Record one configuration run. A no-op unless the sink is enabled, so
-/// experiments call this unconditionally.
-pub fn record(exp: &str, config: &str, completion_ms: f64, msgs: u64, bytes: u64) {
+/// experiments call this unconditionally. Experiments that only have
+/// model-derived numbers (no simulator run) pass zero wall/events.
+#[allow(clippy::too_many_arguments)]
+pub fn record(
+    exp: &str,
+    config: &str,
+    completion_ms: f64,
+    msgs: u64,
+    bytes: u64,
+    wall_ms: f64,
+    events: u64,
+    workers: usize,
+) {
     if let Some(v) = SINK.lock().unwrap().as_mut() {
         v.push(Record {
             exp: exp.into(),
@@ -50,6 +83,9 @@ pub fn record(exp: &str, config: &str, completion_ms: f64, msgs: u64, bytes: u64
             completion_ms,
             msgs,
             bytes,
+            wall_ms,
+            events,
+            workers,
         });
     }
 }
@@ -62,6 +98,9 @@ pub fn record_run<V>(exp: &str, config: &str, res: &dsm_core::RunResult<V>) {
         res.end_time.as_millis_f64(),
         res.stats.total_msgs(),
         res.stats.total_bytes(),
+        res.wall.as_secs_f64() * 1e3,
+        res.events,
+        res.workers,
     );
 }
 
@@ -122,11 +161,17 @@ pub fn write_all(dir: &std::path::Path) -> std::io::Result<Vec<String>> {
         let runs: Vec<&Record> = records.iter().filter(|r| r.exp == exp).collect();
         for (i, r) in runs.iter().enumerate() {
             body.push_str(&format!(
-                "    {{\"config\": \"{}\", \"completion_ms\": {}, \"msgs\": {}, \"bytes\": {}}}{}\n",
+                "    {{\"config\": \"{}\", \"completion_ms\": {}, \"msgs\": {}, \
+                 \"bytes\": {}, \"wall_ms\": {}, \"events\": {}, \
+                 \"events_per_sec\": {}, \"workers\": {}}}{}\n",
                 escape(&r.config),
                 r.completion_ms,
                 r.msgs,
                 r.bytes,
+                r.wall_ms,
+                r.events,
+                r.events_per_sec(),
+                r.workers,
                 if i + 1 < runs.len() { "," } else { "" }
             ));
         }
@@ -151,10 +196,27 @@ mod tests {
     fn disabled_sink_records_nothing() {
         // Never enabled in this test process order — record is a no-op
         // and write_all writes nothing.
-        record("eXX", "cfg", 1.0, 2, 3);
+        record("eXX", "cfg", 1.0, 2, 3, 4.0, 5, 1);
         if !enabled() {
             let out = write_all(std::path::Path::new(".")).unwrap();
             assert!(out.is_empty());
         }
+    }
+
+    #[test]
+    fn events_per_sec_is_events_over_wall_seconds() {
+        let r = Record {
+            exp: "e".into(),
+            config: "c".into(),
+            completion_ms: 1.0,
+            msgs: 0,
+            bytes: 0,
+            wall_ms: 500.0,
+            events: 1000,
+            workers: 4,
+        };
+        assert_eq!(r.events_per_sec(), 2000.0);
+        let zero = Record { wall_ms: 0.0, ..r };
+        assert_eq!(zero.events_per_sec(), 0.0);
     }
 }

@@ -8,6 +8,12 @@
 //! modeled access cost to the budget. Faults, sync operations, and
 //! budget exhaustion still yield to the kernel.
 //!
+//! Under the sharded kernel the budget is additionally clamped to the
+//! current lookahead window's end (`Kernel::local_budget` takes the
+//! min with `window_end`), so a lease can never run ahead of the point
+//! where another shard's messages may be admitted — the soundness
+//! argument below is per-shard and needs no cross-shard reasoning.
+//!
 //! # Safety
 //!
 //! The lease and the kernel-side [`crate::DsmNode`] share one

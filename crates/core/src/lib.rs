@@ -66,10 +66,13 @@ pub struct DsmConfig {
     /// are identical either way, only wall-clock changes.
     pub fast_path: bool,
     /// Max pages fetched per read fault (demand + prefetches from the
-    /// declared read-ahead window or the op's own range), clamped to
-    /// `1..=`[`MAX_BATCH_DEPTH`]. Depth 1 (the default) disables the
-    /// batched fault pipeline and is bit-identical to the pre-pipeline
-    /// runtime.
+    /// op's own byte range), clamped to `1..=`[`MAX_BATCH_DEPTH`].
+    /// Depth 1 (the default) disables the batched fault pipeline and is
+    /// bit-identical to the pre-pipeline runtime. With the pipeline on,
+    /// faults inside a declared read-ahead window size their batch
+    /// adaptively from the window's remaining extent (clamped by the
+    /// global cap and `Protocol::max_batch_depth`) rather than this
+    /// fixed depth.
     pub batch_depth: usize,
     /// Cap on per-grant program run-ahead (the lease quantum). A pure
     /// wall-clock knob: virtual-time results are identical for any
@@ -79,6 +82,21 @@ pub struct DsmConfig {
     /// by default; off reproduces the unbounded-log variant (E18's
     /// baseline). Application results are bit-identical either way.
     pub lrc_gc: bool,
+    /// Kernel worker threads (shards). Purely a wall-clock knob:
+    /// same-seed runs are bit-identical for any value. Defaults to the
+    /// `DSM_WORKERS` environment variable, or 1 if unset/invalid.
+    pub workers: usize,
+}
+
+/// Worker-count default: `DSM_WORKERS` if set to a positive integer,
+/// else 1. Lets CI and `run_all` spread the kernel across cores without
+/// threading a flag through every call site.
+fn default_workers() -> usize {
+    std::env::var("DSM_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(1)
 }
 
 impl DsmConfig {
@@ -101,6 +119,7 @@ impl DsmConfig {
             batch_depth: 1,
             local_quantum: dsm_net::MAX_LOCAL_QUANTUM,
             lrc_gc: true,
+            workers: default_workers(),
         }
     }
 
@@ -176,6 +195,14 @@ impl DsmConfig {
         self
     }
 
+    /// Set the kernel worker-thread count (clamped to the node count at
+    /// run time; must be at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+
     /// Set the run-ahead quantum cap (must be positive).
     pub fn local_quantum(mut self, q: Dur) -> Self {
         assert!(q > Dur::ZERO, "local quantum must be positive");
@@ -242,12 +269,14 @@ where
             .max_events(cfg.max_events)
             .stall_window(cfg.stall_window)
             .local_quantum(cfg.local_quantum)
+            .workers(cfg.workers)
             .run(programs)
     } else {
         dsm_net::Sim::new(nodes, cfg.model.clone())
             .max_events(cfg.max_events)
             .stall_window(cfg.stall_window)
             .local_quantum(cfg.local_quantum)
+            .workers(cfg.workers)
             .run(programs)
     }
 }

@@ -177,6 +177,11 @@ pub struct DsmNode {
     /// Max pages per batched read fault (demand + prefetches). Depth 1
     /// disables the pipeline and takes the exact pre-batching code path.
     batch_depth: usize,
+    /// Hard ceiling on any batch: the global cap intersected with the
+    /// protocol's own limit. Faults inside a declared read-ahead window
+    /// size their batch from the window, clamped here, instead of from
+    /// `batch_depth`.
+    max_depth: usize,
     /// The fault queue: pages with a read transaction in flight (the
     /// demand page plus any prefetches issued with it). The parked read
     /// completes only once this drains, so writes and sync ops never
@@ -230,9 +235,8 @@ impl DsmNode {
         // Clamp to the global cap, then to the protocol's own limit —
         // protocols whose transaction machinery admits a single
         // in-flight fetch (e.g. migrate) report max_batch_depth() == 1.
-        let batch_depth = batch_depth
-            .clamp(1, crate::MAX_BATCH_DEPTH)
-            .min(proto.max_batch_depth().max(1));
+        let max_depth = crate::MAX_BATCH_DEPTH.min(proto.max_batch_depth().max(1));
+        let batch_depth = batch_depth.clamp(1, crate::MAX_BATCH_DEPTH).min(max_depth);
         DsmNode {
             me,
             nnodes,
@@ -244,6 +248,7 @@ impl DsmNode {
             pending: Pending::None,
             faulted: false,
             batch_depth,
+            max_depth,
             inflight: Vec::new(),
         }
     }
@@ -409,14 +414,20 @@ impl DsmNode {
     }
 
     /// Pages offered to the protocol for one batched read fault: the
-    /// demand page (holding faulting address `a`) first, then up to
-    /// `batch_depth - 1` following pages of the read-ahead window that
-    /// are not yet readable and have no transaction in flight.
+    /// demand page (holding faulting address `a`) first, then following
+    /// pages of the read-ahead window that are not yet readable and
+    /// have no transaction in flight.
     ///
     /// The window is the op's declared hint when it covers `a` — a
     /// sequential kernel marking the region it is streaming through —
     /// and otherwise the op's own byte range `[addr, addr + len)`, so
     /// multi-page reads self-prefetch their later pages.
+    ///
+    /// Batch depth is adaptive: a fault inside a declared hint window
+    /// sizes its batch from the window's remaining page extent (the
+    /// app said how far it will stream), clamped by the global cap and
+    /// `Protocol::max_batch_depth`. Without a hint the fixed per-run
+    /// `batch_depth` applies.
     fn prefetch_candidates(
         &self,
         a: GlobalAddr,
@@ -426,17 +437,22 @@ impl DsmNode {
     ) -> Vec<PageId> {
         let g = self.layout.geometry;
         let demand = g.page_of(a);
-        let end = match hint {
-            Some((h, hlen)) if h.0 <= a.0 && a.0 < h.0 + hlen => h.0 + hlen,
-            _ => addr.0 + len,
+        let (end, hinted) = match hint {
+            Some((h, hlen)) if h.0 <= a.0 && a.0 < h.0 + hlen => (h.0 + hlen, true),
+            _ => (addr.0 + len, false),
         };
         let end = end.min(self.layout.total_bytes());
         let mut out = vec![demand];
         if end > a.0 {
             let mem = Self::mem(&self.frames);
             let last = g.page_of(GlobalAddr(end - 1)).0;
+            let depth = if hinted {
+                (last - demand.0 + 1).min(self.max_depth)
+            } else {
+                self.batch_depth
+            };
             for p in demand.0 + 1..=last {
-                if out.len() >= self.batch_depth {
+                if out.len() >= depth {
                     break;
                 }
                 if !mem.access(PageId(p)).allows_read() && !self.inflight.contains(&p) {

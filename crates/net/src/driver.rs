@@ -1,18 +1,41 @@
 //! The coroutine driver: runs one application program per node on its
-//! own OS thread, cooperatively scheduled by the kernel through
-//! rendezvous channels, and drives the event loop to completion.
+//! own OS thread, cooperatively scheduled by its kernel shard through
+//! rendezvous channels, and drives the sharded event loop to
+//! completion.
 //!
-//! Invariant: at any real-time instant, either the kernel thread or
-//! exactly one application thread is running. The kernel hands control
-//! to a program by sending it a [`Go`] and then blocking on that
-//! program's yield channel; the program hands control back by sending
-//! an [`AppYield`]. Runs are therefore deterministic regardless of OS
-//! scheduling.
+//! Invariant: at any real-time instant, each kernel shard is either
+//! running itself or has handed the floor to exactly one of *its* app
+//! threads. Shards synchronize only at window barriers, where all
+//! cross-shard effects travel through canonically ordered inboxes (see
+//! [`crate::kernel`]), so runs are deterministic — and identical for
+//! any worker count — regardless of OS scheduling.
+//!
+//! The window protocol per shard, between two barrier pairs:
+//!
+//! 1. flush staged sends to the per-shard inboxes, **barrier A**;
+//! 2. drain own inbox in canonical order, publish status (heap
+//!    minimum, progress, unfinished count), **barrier B**;
+//! 3. every shard independently computes the same verdict from the
+//!    published statuses: finish, fail (deadlock / stall / event
+//!    budget), or open the next window
+//!    `[global_min, global_min + lookahead)`;
+//! 4. process own events strictly inside the window, rendezvousing
+//!    with own programs as they resume.
+//!
+//! On failure verdicts every shard deposits a diagnostic fragment and
+//! shard 0 panics with the assembled per-node report, preserving the
+//! single-threaded kernel's panic messages. A panic anywhere else
+//! (e.g. in a node behavior) poisons the window barrier and is
+//! re-thrown from the caller's thread with its original payload.
 
+use std::any::Any;
 use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
 
-use crate::kernel::{Ctx, Event, Kernel, NodeBehavior, OpOutcome};
+use crate::kernel::{Ctx, Event, InTransit, Kernel, NodeBehavior, OpOutcome, Partition};
 use crate::model::CostModel;
 use crate::msg::NodeId;
 use crate::stats::NetStats;
@@ -38,6 +61,9 @@ enum AppYield<Op> {
     /// The program returned after `elapsed` of local run-ahead.
     Finished { elapsed: Dur },
 }
+
+type GoTx<R> = SyncSender<Go<R>>;
+type YieldRx<Op> = Receiver<AppYield<Op>>;
 
 /// The application program's handle to the simulated machine. One per
 /// node; the program calls these methods and the kernel interleaves all
@@ -165,7 +191,8 @@ pub struct RunResult<V> {
     pub end_time: SimTime,
     /// Per-node program finish times.
     pub finish_times: Vec<SimTime>,
-    /// Aggregate network traffic.
+    /// Aggregate network traffic (merged across shards in shard
+    /// order; identical for any worker count).
     pub stats: NetStats,
     /// Kernel→program floor handoffs performed over the whole run. Each
     /// is one rendezvous (two channel hops of real time); the batched
@@ -176,6 +203,25 @@ pub struct RunResult<V> {
     /// Per-node end-of-run metric gauges
     /// ([`NodeBehavior::gauges`]), indexed by node.
     pub gauges: Vec<Vec<(&'static str, u64)>>,
+    /// Total kernel events processed, summed across shards.
+    pub events: u64,
+    /// Kernel worker threads (shards) the run used, after clamping to
+    /// the node count.
+    pub workers: usize,
+    /// Wall-clock duration of the run, for throughput reporting.
+    pub wall: std::time::Duration,
+}
+
+impl<V> RunResult<V> {
+    /// Simulator throughput: kernel events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Default progress-watchdog window: ten seconds of virtual time with
@@ -191,6 +237,7 @@ pub struct Sim<N: NodeBehavior> {
     max_events: u64,
     stall_window: Dur,
     local_quantum: Dur,
+    workers: usize,
 }
 
 impl<N: NodeBehavior> Sim<N> {
@@ -204,6 +251,7 @@ impl<N: NodeBehavior> Sim<N> {
             max_events: u64::MAX,
             stall_window: DEFAULT_STALL_WINDOW,
             local_quantum: crate::kernel::MAX_LOCAL_QUANTUM,
+            workers: 1,
         }
     }
 
@@ -218,9 +266,22 @@ impl<N: NodeBehavior> Sim<N> {
         self
     }
 
+    /// Kernel worker threads (shards). Nodes are partitioned into
+    /// contiguous blocks, one per worker, clamped to the node count.
+    /// Purely a wall-clock knob: same-seed runs are bit-identical for
+    /// any value — the window protocol admits cross-shard messages in
+    /// an order that is a function of virtual time only.
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+
     /// Panic (with a diagnostic dump) if more than `max` events are
     /// processed — the backstop for zero-delay livelocks, where virtual
-    /// time never advances and the stall watchdog cannot fire.
+    /// time never advances and the stall watchdog cannot fire. The
+    /// count is shared across shards and checked on every pop, so the
+    /// backstop fires even when a single shard spins inside a window.
     pub fn max_events(mut self, max: u64) -> Self {
         self.max_events = max;
         self
@@ -239,26 +300,30 @@ impl<N: NodeBehavior> Sim<N> {
     /// `programs.len()` must equal the node count. Programs run on
     /// their own threads but in deterministic cooperative order.
     ///
-    /// Panics on distributed deadlock: if the event queue drains while
-    /// some program has not finished, the blocked nodes are reported.
+    /// Panics on distributed deadlock: if every shard's event queue
+    /// drains while some program has not finished, the blocked nodes
+    /// are reported.
     pub fn run<V, F>(self, programs: Vec<F>) -> RunResult<V>
     where
         V: Send,
         F: FnOnce(&AppHandle<N::Op, N::Reply>) -> V + Send,
     {
         let Sim {
-            mut nodes,
+            nodes,
             model,
             max_events,
             stall_window,
             local_quantum,
+            workers,
         } = self;
         let nnodes = nodes.len() as u32;
         assert_eq!(programs.len(), nodes.len(), "one program per node required");
+        let wall_start = std::time::Instant::now();
 
-        let mut kernel: Kernel<N> = Kernel::new(nnodes, model);
-        kernel.set_max_events(max_events);
-        kernel.set_local_quantum(local_quantum);
+        let part = Partition::new(nnodes, workers.min(u32::MAX as usize) as u32);
+        let workers = part.workers();
+        let lookahead = model.min_net_delay();
+        let events = crate::kernel::new_event_counter();
 
         let mut go_txs = Vec::with_capacity(nodes.len());
         let mut yield_rxs = Vec::with_capacity(nodes.len());
@@ -281,16 +346,37 @@ impl<N: NodeBehavior> Sim<N> {
             });
         }
 
-        // Everything the event loop owns moves into the scope closure so
-        // that a kernel panic (deadlock/livelock detection) drops the
-        // rendezvous channels, unblocking and terminating the program
-        // threads before the scope joins them.
-        std::thread::scope(move |s| {
-            let go_txs = go_txs;
-            let yield_rxs = yield_rxs;
-            // Ops whose locally accumulated time is still being charged:
-            // the op dispatches when the matching Resume fires.
-            let mut pending_ops: Vec<Option<N::Op>> = (0..go_txs.len()).map(|_| None).collect();
+        let kernels: Vec<Kernel<N>> = (0..workers)
+            .map(|shard| {
+                let mut k = Kernel::new(part, shard, model.clone(), Arc::clone(&events));
+                k.set_max_events(max_events);
+                k.set_local_quantum(local_quantum);
+                k
+            })
+            .collect();
+        let shard_nodes = split_by_shard(nodes, part);
+        let shard_gtx = split_by_shard(go_txs, part);
+        let shard_yrx = split_by_shard(yield_rxs, part);
+
+        // Shared window machinery, borrowed by every shard thread.
+        let inboxes: Vec<Mutex<Vec<InTransit<N::Msg>>>> =
+            (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+        let statuses: Vec<Mutex<ShardStatus>> = (0..workers)
+            .map(|_| Mutex::new(ShardStatus::default()))
+            .collect();
+        let diags: Vec<Mutex<Option<ShardDiag>>> = (0..workers).map(|_| Mutex::new(None)).collect();
+        let barrier = WindowBarrier::new(workers);
+        let stash: PanicStash = Mutex::new(None);
+        let win = WindowShared {
+            inboxes: &inboxes,
+            statuses: &statuses,
+            diags: &diags,
+            barrier: &barrier,
+            stall_window,
+            lookahead,
+        };
+
+        std::thread::scope(|s| {
             let mut joins = Vec::with_capacity(programs.len());
             for (program, handle) in programs.into_iter().zip(handles) {
                 joins.push(s.spawn(move || {
@@ -301,217 +387,589 @@ impl<N: NodeBehavior> Sim<N> {
                 }));
             }
 
-            // Protocol start hooks, then kick every program at t=0 in
-            // node order.
-            for (i, node) in nodes.iter_mut().enumerate() {
-                let mut ctx = Ctx {
-                    port: &mut kernel,
-                    node: NodeId(i as u32),
-                };
-                node.on_start(&mut ctx);
-            }
-            for i in 0..nodes.len() as u32 {
-                kernel.schedule(SimTime::ZERO, Event::Resume { node: NodeId(i) });
+            // Shard 0 runs on this thread so its failure reports (and
+            // any behavior panic payload) propagate to the caller
+            // unchanged; shards 1.. run on worker threads whose panics
+            // are stashed and re-thrown here.
+            let mut shard_iter = kernels
+                .into_iter()
+                .zip(shard_nodes)
+                .zip(shard_gtx)
+                .zip(shard_yrx);
+            let (((kernel0, nodes0), gtx0), yrx0) = shard_iter.next().expect("at least one shard");
+            let mut worker_joins = Vec::with_capacity(workers - 1);
+            for (w, (((kernel, nodes), gtx), yrx)) in shard_iter.enumerate() {
+                let shard = w + 1;
+                let stash = &stash;
+                worker_joins.push(s.spawn(move || {
+                    let exit = catch_unwind(AssertUnwindSafe(move || {
+                        run_shard(kernel, nodes, gtx, yrx, shard, win)
+                    }));
+                    match exit {
+                        Ok(ShardExit::Done { kernel, nodes }) => Some((*kernel, nodes)),
+                        Ok(_) => None,
+                        Err(payload) => {
+                            stash_panic(stash, payload);
+                            win.barrier.poison();
+                            None
+                        }
+                    }
+                }));
             }
 
-            // Progress watchdog state: the virtual time of the last
-            // Resume event for an unfinished program (ops completing,
-            // run-ahead being charged, programs finishing — anything
-            // that is program progress rather than protocol chatter).
-            let mut last_progress = SimTime::ZERO;
-            let mut unfinished = nodes.len();
-
-            while let Some((t, event)) = kernel.pop() {
-                if kernel.over_event_budget() {
+            let exit = catch_unwind(AssertUnwindSafe(move || {
+                run_shard(kernel0, nodes0, gtx0, yrx0, 0, win)
+            }));
+            let shard0 = match exit {
+                Ok(ShardExit::Done { kernel, nodes }) => (*kernel, nodes),
+                Ok(ShardExit::Fail { verdict }) => {
                     panic!(
                         "{}",
-                        watchdog_report(
-                            &kernel,
-                            &nodes,
-                            &format!(
-                                "kernel exceeded max_events={} — protocol livelock?",
-                                kernel.max_events()
-                            ),
+                        assemble_report(
+                            &verdict,
+                            &diags,
+                            events.load(Ordering::Relaxed),
+                            max_events,
+                            stall_window,
                         )
                     );
                 }
-                if stall_window > Dur::ZERO
-                    && unfinished > 0
-                    && t.since(last_progress) > stall_window
-                {
-                    panic!(
-                        "{}",
-                        watchdog_report(
-                            &kernel,
-                            &nodes,
-                            &format!(
-                                "progress watchdog: no program progress for {} of virtual \
-                                 time (last at t={})",
-                                stall_window, last_progress
-                            ),
-                        )
-                    );
+                Ok(ShardExit::Poisoned) => {
+                    let payload = stash
+                        .lock()
+                        .expect("panic stash poisoned")
+                        .take()
+                        .expect("poisoned barrier without a stashed panic");
+                    resume_unwind(payload);
                 }
-                match event {
-                    Event::Deliver { src, dst, msg } => {
-                        let mut ctx = Ctx {
-                            port: &mut kernel,
-                            node: dst,
-                        };
-                        nodes[dst.index()].on_message(&mut ctx, src, msg);
-                    }
-                    Event::Timer { node, token } => {
-                        let mut ctx = Ctx {
-                            port: &mut kernel,
-                            node,
-                        };
-                        nodes[node.index()].on_timer(&mut ctx, token);
-                    }
-                    Event::Resume { node } => {
-                        last_progress = t;
-                        let i = node.index();
-                        if kernel.app[i].finished {
-                            continue;
-                        }
-                        let mut reply = kernel.app[i].pending_reply.take();
-                        let mut next_op = pending_ops[i].take();
-                        // Inner loop: keep the program running while its
-                        // ops complete with zero cost at this instant.
-                        loop {
-                            let op = match next_op.take() {
-                                Some(op) => op,
-                                None => {
-                                    let budget = kernel.local_budget(node);
-                                    kernel.rendezvous += 1;
-                                    go_txs[i]
-                                        .send(Go {
-                                            time: kernel.now(),
-                                            reply: reply.take(),
-                                            budget,
-                                        })
-                                        .expect("program thread died");
-                                    match yield_rxs[i].recv().expect("program thread died") {
-                                        AppYield::Op { op, elapsed } => {
-                                            if elapsed == Dur::ZERO {
-                                                op
-                                            } else {
-                                                // Charge the run-ahead first;
-                                                // the op dispatches when this
-                                                // Resume fires.
-                                                pending_ops[i] = Some(op);
-                                                let at = kernel.now() + elapsed;
-                                                kernel.schedule(at, Event::Resume { node });
-                                                break;
-                                            }
-                                        }
-                                        AppYield::Advance(d) => {
-                                            let at = kernel.now() + d;
-                                            kernel.schedule(at, Event::Resume { node });
-                                            break;
-                                        }
-                                        AppYield::Finished { elapsed } => {
-                                            kernel.app[i].finished = true;
-                                            kernel.app[i].finish_time = kernel.now() + elapsed;
-                                            unfinished -= 1;
-                                            break;
-                                        }
-                                    }
-                                }
-                            };
-                            kernel.app[i].in_op = true;
-                            let outcome = {
-                                let mut ctx = Ctx {
-                                    port: &mut kernel,
-                                    node,
-                                };
-                                nodes[i].on_op(&mut ctx, op)
-                            };
-                            kernel.app[i].in_op = false;
-                            match outcome {
-                                OpOutcome::Done(r) => {
-                                    reply = Some(r);
-                                }
-                                OpOutcome::DoneAfter(r, d) => {
-                                    kernel.app[i].pending_reply = Some(r);
-                                    let at = kernel.now() + d;
-                                    kernel.schedule(at, Event::Resume { node });
-                                    break;
-                                }
-                                OpOutcome::Blocked => {
-                                    // The op handler may complete
-                                    // synchronously via complete_op
-                                    // (e.g. colocated manager), in
-                                    // which case blocked is already
-                                    // false and a Resume is queued.
-                                    if kernel.app[i].pending_reply.is_none() {
-                                        kernel.app[i].blocked = true;
-                                    }
-                                    break;
-                                }
-                            }
-                        }
-                    }
+                Err(payload) => {
+                    stash_panic(&stash, payload);
+                    win.barrier.poison();
+                    let payload = stash
+                        .lock()
+                        .expect("panic stash poisoned")
+                        .take()
+                        .expect("stashed above");
+                    resume_unwind(payload);
                 }
-            }
+            };
 
-            if !kernel.all_finished() {
-                let never: Vec<String> = kernel
-                    .blocked_nodes()
-                    .iter()
-                    .map(|n| format!("{n}"))
-                    .collect();
-                panic!(
-                    "{}",
-                    watchdog_report(
-                        &kernel,
-                        &nodes,
-                        &format!(
-                            "distributed deadlock: event queue drained at t={} with nodes \
-                             never finished [{}]",
-                            kernel.now(),
-                            never.join(" ")
-                        ),
-                    )
-                );
+            // Clean exit: collect the worker shards, then aggregate in
+            // shard order (= node order, blocks are contiguous).
+            let mut shards = vec![shard0];
+            for j in worker_joins {
+                let done = j.join().expect("worker shard panicked");
+                shards.push(done.expect("worker shard exited uncleanly on a clean run"));
             }
-
             let results: Vec<V> = joins
                 .into_iter()
                 .map(|j| j.join().expect("program panicked"))
                 .collect();
-            let finish_times: Vec<SimTime> = kernel.app.iter().map(|s| s.finish_time).collect();
+
+            let mut stats = NetStats::new();
+            let mut rendezvous = 0u64;
+            let mut finish_times = Vec::with_capacity(nnodes as usize);
+            let mut gauges = Vec::with_capacity(nnodes as usize);
+            for (kernel, behaviors) in &shards {
+                stats.merge(&kernel.stats);
+                rendezvous += kernel.rendezvous;
+                finish_times.extend(kernel.app.iter().map(|slot| slot.finish_time));
+                gauges.extend(behaviors.iter().map(|n| n.gauges()));
+            }
             let end_time = finish_times.iter().copied().max().unwrap_or(SimTime::ZERO);
-            let gauges = nodes.iter().map(|n| n.gauges()).collect();
             RunResult {
                 end_time,
                 finish_times,
-                stats: kernel.stats.clone(),
-                rendezvous: kernel.rendezvous,
+                stats,
+                rendezvous,
                 results,
                 gauges,
+                events: events.load(Ordering::Relaxed),
+                workers,
+                wall: wall_start.elapsed(),
             }
         })
     }
 }
 
-/// Multi-line diagnostic for a wedged run: the reason, kernel counters,
-/// the event-heap top, and every node's program state plus its
-/// behavior's `describe()` line (which, under the reliable transport,
-/// includes in-flight retransmit queue depths).
-fn watchdog_report<N: NodeBehavior>(kernel: &Kernel<N>, nodes: &[N], reason: &str) -> String {
-    let mut out = format!(
-        "{reason}\n  virtual time: {}\n  events processed: {}\n  event heap: {} pending",
-        kernel.now(),
-        kernel.events_processed(),
-        kernel.heap_len(),
-    );
-    if let Some(top) = kernel.peek_summary() {
-        out.push_str(&format!(" (next: {top})"));
+/// Distribute per-node values into per-shard vectors (node order within
+/// each shard).
+fn split_by_shard<T>(items: Vec<T>, part: Partition) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = (0..part.workers()).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        out[part.shard_of(NodeId(i as u32))].push(item);
     }
+    out
+}
+
+type PanicStash = Mutex<Option<Box<dyn Any + Send + 'static>>>;
+
+/// Keep the first panic payload; later ones (cascading failures after
+/// the barrier is poisoned) are dropped.
+fn stash_panic(stash: &PanicStash, payload: Box<dyn Any + Send + 'static>) {
+    let mut slot = stash.lock().expect("panic stash poisoned");
+    if slot.is_none() {
+        *slot = Some(payload);
+    }
+}
+
+/// Status a shard publishes at every window boundary (between barriers
+/// A and B; read by all shards after B).
+#[derive(Default)]
+struct ShardStatus {
+    heap_min: Option<SimTime>,
+    now: SimTime,
+    last_progress: SimTime,
+    unfinished: usize,
+    budget_hit: bool,
+}
+
+/// Diagnostic fragment a shard deposits when the consensus verdict is a
+/// failure, consumed by shard 0 to assemble the panic report.
+struct ShardDiag {
+    heap_len: usize,
+    heap_min: Option<SimTime>,
+    peek: Option<String>,
+    now: SimTime,
+    never_finished: Vec<NodeId>,
+    node_lines: String,
+}
+
+/// What every shard independently concludes at a window boundary. All
+/// shards read the same published statuses, so all reach the same
+/// verdict — that agreement is what keeps the barrier sequence aligned.
+#[derive(Clone, Copy, Debug)]
+enum Verdict {
+    /// Open the next window ending at this time.
+    Continue(SimTime),
+    /// Every program finished and every heap is empty.
+    Done,
+    /// The shared event counter crossed `max_events`.
+    Budget,
+    /// No program progress for longer than the stall window.
+    Stall { last: SimTime },
+    /// Every heap is empty but some programs never finished.
+    Deadlock { t: SimTime },
+}
+
+/// References to the window machinery shared by all shards of one run.
+struct WindowShared<'a, M> {
+    inboxes: &'a [Mutex<Vec<InTransit<M>>>],
+    statuses: &'a [Mutex<ShardStatus>],
+    diags: &'a [Mutex<Option<ShardDiag>>],
+    barrier: &'a WindowBarrier,
+    stall_window: Dur,
+    lookahead: Dur,
+}
+
+impl<M> Clone for WindowShared<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for WindowShared<'_, M> {}
+
+/// A reusable barrier that can be poisoned: when any shard panics, it
+/// poisons the barrier and every current and future waiter returns
+/// `Err` instead of deadlocking on the missing participant.
+struct WindowBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    n: usize,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+struct BarrierPoisoned;
+
+impl WindowBarrier {
+    fn new(n: usize) -> Self {
+        WindowBarrier {
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+            n,
+        }
+    }
+
+    fn wait(&self) -> Result<(), BarrierPoisoned> {
+        let mut g = self.state.lock().expect("barrier state poisoned");
+        if g.poisoned {
+            return Err(BarrierPoisoned);
+        }
+        g.arrived += 1;
+        if g.arrived == self.n {
+            g.arrived = 0;
+            g.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = g.generation;
+        while g.generation == gen && !g.poisoned {
+            g = self.cv.wait(g).expect("barrier state poisoned");
+        }
+        if g.poisoned {
+            Err(BarrierPoisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn poison(&self) {
+        let mut g = self.state.lock().expect("barrier state poisoned");
+        g.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+/// How one shard's event loop ended.
+enum ShardExit<N: NodeBehavior> {
+    /// Clean finish: all shards agreed the run is complete.
+    Done {
+        kernel: Box<Kernel<N>>,
+        nodes: Vec<N>,
+    },
+    /// Failure verdict: the diagnostic fragment has been deposited;
+    /// shard 0 assembles the report and panics.
+    Fail { verdict: Verdict },
+    /// The barrier was poisoned underneath us (another shard panicked).
+    Poisoned,
+}
+
+/// Aggregate the published shard statuses into the one verdict every
+/// shard must agree on. Reads happen strictly between barrier B and
+/// the next barrier A, so no shard can be rewriting a status slot
+/// concurrently.
+fn consensus<M>(win: &WindowShared<'_, M>) -> Verdict {
+    let mut heap_min: Option<SimTime> = None;
+    let mut unfinished = 0usize;
+    let mut budget_hit = false;
+    let mut last_progress = SimTime::ZERO;
+    let mut now_max = SimTime::ZERO;
+    for slot in win.statuses {
+        let s = slot.lock().expect("status slot poisoned");
+        heap_min = match (heap_min, s.heap_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        unfinished += s.unfinished;
+        budget_hit |= s.budget_hit;
+        last_progress = last_progress.max(s.last_progress);
+        now_max = now_max.max(s.now);
+    }
+    if budget_hit {
+        return Verdict::Budget;
+    }
+    match heap_min {
+        None if unfinished == 0 => Verdict::Done,
+        None => Verdict::Deadlock { t: now_max },
+        Some(m) => {
+            if win.stall_window > Dur::ZERO
+                && unfinished > 0
+                && m.since(last_progress) > win.stall_window
+            {
+                Verdict::Stall {
+                    last: last_progress,
+                }
+            } else {
+                // Every event strictly below this bound is safe to
+                // process: any message sent by an event at or after
+                // `m` delivers at least `lookahead` later (and never
+                // earlier — jitter, spikes and queueing only add). The
+                // 1ns floor keeps zero-lookahead models moving one
+                // timestamp per window.
+                Verdict::Continue(m + win.lookahead.max(Dur::nanos(1)))
+            }
+        }
+    }
+}
+
+/// One shard's event loop: the window protocol around the same
+/// dispatch core the single-threaded kernel ran.
+fn run_shard<N: NodeBehavior>(
+    mut kernel: Kernel<N>,
+    mut nodes: Vec<N>,
+    go_txs: Vec<GoTx<N::Reply>>,
+    yield_rxs: Vec<YieldRx<N::Op>>,
+    shard: usize,
+    win: WindowShared<'_, N::Msg>,
+) -> ShardExit<N> {
+    let lo = kernel.lo();
+    let nlocal = nodes.len();
+
+    // Protocol start hooks, then kick every owned program at t=0 in
+    // node order. Sends from on_start are staged and admitted at the
+    // first window boundary like any others.
+    for (i, node) in nodes.iter_mut().enumerate() {
+        let mut ctx = Ctx {
+            port: &mut kernel,
+            node: NodeId(lo + i as u32),
+        };
+        node.on_start(&mut ctx);
+    }
+    for i in 0..nlocal as u32 {
+        kernel.schedule(
+            SimTime::ZERO,
+            Event::Resume {
+                node: NodeId(lo + i),
+            },
+        );
+    }
+
+    // Ops whose locally accumulated time is still being charged: the
+    // op dispatches when the matching Resume fires.
+    let mut pending_ops: Vec<Option<N::Op>> = (0..nlocal).map(|_| None).collect();
+    // Progress watchdog state: the virtual time of the last Resume
+    // event for one of this shard's programs (ops completing, run-ahead
+    // being charged, programs finishing — anything that is program
+    // progress rather than protocol chatter). Published per window;
+    // the consensus takes the max across shards.
+    let mut last_progress = SimTime::ZERO;
+    let mut unfinished = nlocal;
+    let mut budget_hit = false;
+
+    loop {
+        // Window boundary. Flush staged sends so every inbox holds the
+        // complete traffic of the window that just ended...
+        kernel.flush_outgoing(win.inboxes);
+        if win.barrier.wait().is_err() {
+            return ShardExit::Poisoned;
+        }
+        // ...then drain own inbox in canonical order and publish where
+        // this shard stands.
+        let batch = std::mem::take(&mut *win.inboxes[shard].lock().expect("inbox poisoned"));
+        kernel.admit(batch);
+        *win.statuses[shard].lock().expect("status slot poisoned") = ShardStatus {
+            heap_min: kernel.heap_min(),
+            now: kernel.now(),
+            last_progress,
+            unfinished,
+            budget_hit,
+        };
+        if win.barrier.wait().is_err() {
+            return ShardExit::Poisoned;
+        }
+        let window_end = match consensus(&win) {
+            Verdict::Continue(w) => w,
+            Verdict::Done => {
+                return ShardExit::Done {
+                    kernel: Box::new(kernel),
+                    nodes,
+                }
+            }
+            verdict => {
+                *win.diags[shard].lock().expect("diag slot poisoned") =
+                    Some(make_diag(&kernel, &nodes));
+                // Barrier C: all fragments must be deposited before
+                // shard 0 assembles the report. Poisoning here means
+                // some shard died instead — proceed; the report
+                // tolerates missing fragments.
+                let _ = win.barrier.wait();
+                return ShardExit::Fail { verdict };
+            }
+        };
+        kernel.set_window_end(window_end);
+
+        // Process this shard's slice of the window.
+        while let Some((t, event)) = kernel.pop_in_window() {
+            if kernel.over_event_budget() {
+                budget_hit = true;
+                break;
+            }
+            match event {
+                Event::Deliver { src, dst, msg } => {
+                    let mut ctx = Ctx {
+                        port: &mut kernel,
+                        node: dst,
+                    };
+                    nodes[(dst.0 - lo) as usize].on_message(&mut ctx, src, msg);
+                }
+                Event::Timer { node, token } => {
+                    let mut ctx = Ctx {
+                        port: &mut kernel,
+                        node,
+                    };
+                    nodes[(node.0 - lo) as usize].on_timer(&mut ctx, token);
+                }
+                Event::Resume { node } => {
+                    last_progress = t;
+                    let i = (node.0 - lo) as usize;
+                    if kernel.app[i].finished {
+                        continue;
+                    }
+                    let mut reply = kernel.app[i].pending_reply.take();
+                    let mut next_op = pending_ops[i].take();
+                    // Inner loop: keep the program running while its
+                    // ops complete with zero cost at this instant.
+                    loop {
+                        let op = match next_op.take() {
+                            Some(op) => op,
+                            None => {
+                                let budget = kernel.local_budget(node);
+                                kernel.rendezvous += 1;
+                                go_txs[i]
+                                    .send(Go {
+                                        time: kernel.now(),
+                                        reply: reply.take(),
+                                        budget,
+                                    })
+                                    .expect("program thread died");
+                                match yield_rxs[i].recv().expect("program thread died") {
+                                    AppYield::Op { op, elapsed } => {
+                                        if elapsed == Dur::ZERO {
+                                            op
+                                        } else {
+                                            // Charge the run-ahead first;
+                                            // the op dispatches when this
+                                            // Resume fires.
+                                            pending_ops[i] = Some(op);
+                                            let at = kernel.now() + elapsed;
+                                            kernel.schedule(at, Event::Resume { node });
+                                            break;
+                                        }
+                                    }
+                                    AppYield::Advance(d) => {
+                                        let at = kernel.now() + d;
+                                        kernel.schedule(at, Event::Resume { node });
+                                        break;
+                                    }
+                                    AppYield::Finished { elapsed } => {
+                                        kernel.app[i].finished = true;
+                                        kernel.app[i].finish_time = kernel.now() + elapsed;
+                                        unfinished -= 1;
+                                        break;
+                                    }
+                                }
+                            }
+                        };
+                        kernel.app[i].in_op = true;
+                        let outcome = {
+                            let mut ctx = Ctx {
+                                port: &mut kernel,
+                                node,
+                            };
+                            nodes[i].on_op(&mut ctx, op)
+                        };
+                        kernel.app[i].in_op = false;
+                        match outcome {
+                            OpOutcome::Done(r) => {
+                                reply = Some(r);
+                            }
+                            OpOutcome::DoneAfter(r, d) => {
+                                kernel.app[i].pending_reply = Some(r);
+                                let at = kernel.now() + d;
+                                kernel.schedule(at, Event::Resume { node });
+                                break;
+                            }
+                            OpOutcome::Blocked => {
+                                // The op handler may complete
+                                // synchronously via complete_op
+                                // (e.g. colocated manager), in
+                                // which case blocked is already
+                                // false and a Resume is queued.
+                                if kernel.app[i].pending_reply.is_none() {
+                                    kernel.app[i].blocked = true;
+                                }
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Capture one shard's diagnostic fragment for the failure report.
+fn make_diag<N: NodeBehavior>(kernel: &Kernel<N>, nodes: &[N]) -> ShardDiag {
+    let lo = kernel.lo();
+    let mut node_lines = String::new();
     for (i, n) in nodes.iter().enumerate() {
         let desc = n.describe();
         let desc = if desc.is_empty() { "-" } else { desc.as_str() };
-        out.push_str(&format!("\n  n{i} [{}]: {}", kernel.app_state(i), desc));
+        node_lines.push_str(&format!(
+            "\n  n{} [{}]: {}",
+            lo as usize + i,
+            kernel.app_state(i),
+            desc
+        ));
+    }
+    ShardDiag {
+        heap_len: kernel.heap_len(),
+        heap_min: kernel.heap_min(),
+        peek: kernel.peek_summary(),
+        now: kernel.now(),
+        never_finished: kernel.blocked_nodes(),
+        node_lines,
+    }
+}
+
+/// Multi-line diagnostic for a wedged run: the reason, kernel counters,
+/// the earliest pending event across shards, and every node's program
+/// state plus its behavior's `describe()` line (which, under the
+/// reliable transport, includes in-flight retransmit queue depths).
+fn assemble_report(
+    verdict: &Verdict,
+    diags: &[Mutex<Option<ShardDiag>>],
+    events: u64,
+    max_events: u64,
+    stall_window: Dur,
+) -> String {
+    let fragments: Vec<Option<ShardDiag>> = diags
+        .iter()
+        .map(|d| d.lock().expect("diag slot poisoned").take())
+        .collect();
+    let now = fragments
+        .iter()
+        .flatten()
+        .map(|d| d.now)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let pending: usize = fragments.iter().flatten().map(|d| d.heap_len).sum();
+    let next = fragments
+        .iter()
+        .flatten()
+        .filter(|d| d.heap_min.is_some())
+        .min_by_key(|d| d.heap_min)
+        .and_then(|d| d.peek.clone());
+    let reason = match verdict {
+        Verdict::Budget => {
+            format!("kernel exceeded max_events={max_events} — protocol livelock?")
+        }
+        Verdict::Stall { last } => format!(
+            "progress watchdog: no program progress for {stall_window} of virtual \
+             time (last at t={last})"
+        ),
+        Verdict::Deadlock { t } => {
+            let never: Vec<String> = fragments
+                .iter()
+                .flatten()
+                .flat_map(|d| d.never_finished.iter().map(|n| format!("{n}")))
+                .collect();
+            format!(
+                "distributed deadlock: event queue drained at t={t} with nodes \
+                 never finished [{}]",
+                never.join(" ")
+            )
+        }
+        Verdict::Continue(_) | Verdict::Done => unreachable!("not a failure verdict"),
+    };
+    let mut out = format!(
+        "{reason}\n  virtual time: {now}\n  events processed: {events}\n  event heap: \
+         {pending} pending"
+    );
+    if let Some(top) = next {
+        out.push_str(&format!(" (next: {top})"));
+    }
+    for fragment in fragments.iter().flatten() {
+        out.push_str(&fragment.node_lines);
     }
     out
 }
@@ -581,6 +1039,8 @@ mod tests {
         assert_eq!(res.stats.kind("Ping").count, 1);
         assert_eq!(res.stats.kind("Pong").count, 1);
         assert_eq!(res.end_time, SimTime(20_000));
+        assert_eq!(res.workers, 1);
+        assert!(res.events > 0, "event count must be reported");
     }
 
     #[test]
@@ -659,6 +1119,14 @@ mod tests {
         >| h.op(())]);
     }
 
+    fn wedged_panic_message(sim: Sim<WedgedNode>) -> String {
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_wedged(sim)))
+            .expect_err("watchdog should have fired");
+        err.downcast_ref::<String>()
+            .expect("panic payload should be a String")
+            .clone()
+    }
+
     #[test]
     fn stall_watchdog_dumps_node_state() {
         let sim = Sim::new(
@@ -666,14 +1134,33 @@ mod tests {
             CostModel::default(),
         )
         .stall_window(Dur::millis(50));
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_wedged(sim)))
-            .expect_err("watchdog should have fired");
-        let msg = err
-            .downcast_ref::<String>()
-            .expect("panic payload should be a String");
+        let msg = wedged_panic_message(sim);
         assert!(msg.contains("progress watchdog"), "got: {msg}");
         assert!(msg.contains("event heap"), "got: {msg}");
         // Both nodes' describe() lines and program states appear.
+        assert!(
+            msg.contains("n0 [blocked]: wedged; heartbeats="),
+            "got: {msg}"
+        );
+        assert!(
+            msg.contains("n1 [blocked]: wedged; heartbeats="),
+            "got: {msg}"
+        );
+    }
+
+    /// The same watchdog dump must work when the wedged nodes live on
+    /// different shards: every shard deposits its fragment and shard 0
+    /// assembles the full per-node report.
+    #[test]
+    fn stall_watchdog_dumps_node_state_across_shards() {
+        let sim = Sim::new(
+            vec![WedgedNode { beats: 0 }, WedgedNode { beats: 0 }],
+            CostModel::default(),
+        )
+        .stall_window(Dur::millis(50))
+        .workers(2);
+        let msg = wedged_panic_message(sim);
+        assert!(msg.contains("progress watchdog"), "got: {msg}");
         assert!(
             msg.contains("n0 [blocked]: wedged; heartbeats="),
             "got: {msg}"
@@ -693,13 +1180,22 @@ mod tests {
         )
         .stall_window(Dur::ZERO)
         .max_events(500);
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_wedged(sim)))
-            .expect_err("backstop should have fired");
-        let msg = err
-            .downcast_ref::<String>()
-            .expect("panic payload should be a String");
+        let msg = wedged_panic_message(sim);
         assert!(msg.contains("exceeded max_events=500"), "got: {msg}");
         assert!(msg.contains("n0 [blocked]: wedged"), "got: {msg}");
+    }
+
+    #[test]
+    fn max_events_backstop_fires_across_shards() {
+        let sim = Sim::new(
+            vec![WedgedNode { beats: 0 }, WedgedNode { beats: 0 }],
+            CostModel::default(),
+        )
+        .stall_window(Dur::ZERO)
+        .max_events(500)
+        .workers(2);
+        let msg = wedged_panic_message(sim);
+        assert!(msg.contains("exceeded max_events=500"), "got: {msg}");
     }
 
     #[test]
@@ -720,6 +1216,63 @@ mod tests {
             (res.end_time, res.results.clone(), res.stats.total_msgs())
         };
         assert_eq!(run(), run());
+    }
+
+    /// A ring of nodes, each pinging its successor, with jitter on: the
+    /// full observable trace must be bit-identical for every worker
+    /// count (including workers > nodes, which clamps).
+    struct RingNode;
+    impl NodeBehavior for RingNode {
+        type Msg = PingMsg;
+        type Op = ();
+        type Reply = SimTime;
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Self::Msg) {
+            match msg {
+                PingMsg::Ping => ctx.send(from, PingMsg::Pong),
+                PingMsg::Pong => {
+                    let now = ctx.now();
+                    ctx.complete_op(now);
+                }
+            }
+        }
+        fn on_op(&mut self, ctx: &mut Ctx<'_, Self>, _op: ()) -> OpOutcome<SimTime> {
+            let next = NodeId((ctx.me().0 + 1) % ctx.nodes());
+            ctx.send(next, PingMsg::Ping);
+            OpOutcome::Blocked
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_trace() {
+        let run = |workers: usize| {
+            let model = CostModel::lan_1992().with_jitter(Dur::micros(20), 7);
+            let sim =
+                Sim::new(vec![RingNode, RingNode, RingNode, RingNode], model).workers(workers);
+            let programs: Vec<_> = (0..4)
+                .map(|_| {
+                    |h: &AppHandle<(), SimTime>| {
+                        let a = h.op(());
+                        h.advance(Dur::micros(30));
+                        let b = h.op(());
+                        (a, b)
+                    }
+                })
+                .collect();
+            let res = sim.run(programs);
+            assert_eq!(res.workers, workers.min(4));
+            (
+                res.end_time,
+                res.finish_times.clone(),
+                res.results.clone(),
+                res.stats.clone(),
+                res.rendezvous,
+                res.events,
+            )
+        };
+        let w1 = run(1);
+        for workers in [2, 3, 4, 8] {
+            assert_eq!(w1, run(workers), "trace diverged at workers={workers}");
+        }
     }
 
     #[test]

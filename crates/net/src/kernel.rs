@@ -1,13 +1,26 @@
-//! The discrete-event kernel.
+//! The discrete-event kernel, sharded for conservative parallel DES.
 //!
-//! All protocol state lives on the kernel thread: a node's message
+//! All protocol state lives on a kernel shard's thread: a node's message
 //! handlers ([`NodeBehavior::on_message`]) and its application-op entry
-//! point ([`NodeBehavior::on_op`]) are invoked here, at well-defined
-//! points in virtual time, one at a time. Application *programs* run on
-//! their own OS threads but are cooperatively scheduled by the driver
-//! (see [`crate::driver`]): the kernel and the app threads rendezvous,
-//! so exactly one logical actor is ever running, making every run
-//! deterministic for a given seed.
+//! point ([`NodeBehavior::on_op`]) are invoked there, at well-defined
+//! points in virtual time, one at a time per shard. Application
+//! *programs* run on their own OS threads but are cooperatively
+//! scheduled by the driver (see [`crate::driver`]): each shard and its
+//! own app threads rendezvous, so exactly one logical actor per shard is
+//! ever running.
+//!
+//! Nodes are partitioned into contiguous shards ([`Partition`]); each
+//! shard owns a private event heap and processes events inside a
+//! *virtual-time window* `[global_min, global_min + lookahead)` computed
+//! by the driver from the conservative PDES lookahead (the minimum
+//! network delay of the cost model). Messages — including same-shard and
+//! self sends — are never inserted into a heap directly at send time;
+//! they are staged as [`InTransit`] records and admitted at the next
+//! window barrier in a canonical order (wire-arrival time, then sender,
+//! then per-sender sequence), with receiver-side serialization
+//! (`recv_free`) applied during admission. Because the admitted batch
+//! per window and its order are functions of virtual time only, the run
+//! is bit-identical for any worker count.
 //!
 //! Handlers talk to the world through [`Ctx`], which is backed by a
 //! [`NetPort`] — normally the kernel itself, but a transport adapter
@@ -16,6 +29,8 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::model::{CostModel, FaultPlan};
 use crate::msg::{NodeId, Payload};
@@ -81,6 +96,17 @@ pub(crate) enum Event<M> {
     Timer { node: NodeId, token: u64 },
 }
 
+impl<M> Event<M> {
+    /// The node an event runs on.
+    fn node(&self) -> NodeId {
+        match self {
+            Event::Deliver { dst, .. } => *dst,
+            Event::Resume { node } => *node,
+            Event::Timer { node, .. } => *node,
+        }
+    }
+}
+
 /// Default upper bound on how far one program may run ahead of the
 /// kernel clock inside a single [`crate::driver::Go`] grant, even when
 /// the event queue is empty. Keeps the `max_events` livelock guard
@@ -90,15 +116,84 @@ pub(crate) enum Event<M> {
 /// sweep that picked this default).
 pub const MAX_LOCAL_QUANTUM: Dur = Dur::millis(1);
 
+/// Contiguous block partition of nodes onto kernel shards: the first
+/// `nnodes % workers` shards get one extra node. Any fixed mapping
+/// would do — the windowed admission protocol makes results independent
+/// of the partition — but contiguous blocks keep neighbor-structured
+/// workloads (SOR, Jacobi) mostly shard-local.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Partition {
+    nnodes: u32,
+    workers: u32,
+}
+
+impl Partition {
+    pub(crate) fn new(nnodes: u32, workers: u32) -> Self {
+        assert!(nnodes > 0, "need at least one node");
+        let workers = workers.clamp(1, nnodes);
+        Partition { nnodes, workers }
+    }
+
+    pub(crate) fn workers(self) -> usize {
+        self.workers as usize
+    }
+
+    pub(crate) fn shard_of(self, node: NodeId) -> usize {
+        let base = self.nnodes / self.workers;
+        let rem = self.nnodes % self.workers;
+        let cut = rem * (base + 1);
+        if node.0 < cut {
+            (node.0 / (base + 1)) as usize
+        } else {
+            (rem + (node.0 - cut) / base) as usize
+        }
+    }
+
+    pub(crate) fn range(self, shard: usize) -> std::ops::Range<u32> {
+        let base = self.nnodes / self.workers;
+        let rem = self.nnodes % self.workers;
+        let s = shard as u32;
+        debug_assert!(s < self.workers);
+        let lo = if s < rem {
+            s * (base + 1)
+        } else {
+            rem * (base + 1) + (s - rem) * base
+        };
+        let size = if s < rem { base + 1 } else { base };
+        lo..lo + size
+    }
+}
+
+/// A message between send and admission: staged by the sending shard
+/// during a window, appended to the destination shard's inbox at the
+/// flush, and admitted at the next barrier. `arrive` is the wire
+/// arrival at the destination (receiver-side serialization and
+/// `recv_overhead` are applied canonically during admission);
+/// `(arrive, src, seq)` is the canonical admission sort key, with `seq`
+/// a per-sender sequence number, so the drain order is a pure function
+/// of virtual time.
+pub(crate) struct InTransit<M> {
+    pub(crate) arrive: SimTime,
+    pub(crate) src: NodeId,
+    pub(crate) seq: u64,
+    pub(crate) dst: NodeId,
+    pub(crate) msg: M,
+}
+
 struct HeapEntry<M> {
     time: SimTime,
+    /// Global id of the node the event runs on: the first tiebreak.
+    node: u32,
+    /// Per-node schedule sequence: the second tiebreak. Per-node (not
+    /// per-shard) so that the key is independent of how nodes are
+    /// partitioned onto shards.
     seq: u64,
     event: Event<M>,
 }
 
 impl<M> PartialEq for HeapEntry<M> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        (self.time, self.node, self.seq) == (other.time, other.node, other.seq)
     }
 }
 impl<M> Eq for HeapEntry<M> {}
@@ -109,7 +204,7 @@ impl<M> PartialOrd for HeapEntry<M> {
 }
 impl<M> Ord for HeapEntry<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        (self.time, self.node, self.seq).cmp(&(other.time, other.node, other.seq))
     }
 }
 
@@ -158,53 +253,102 @@ pub(crate) trait NetPort<M, R> {
     fn note_retransmit(&mut self, id: KindId, kind: &'static str);
 }
 
-/// Kernel state shared by all handler invocations (event queue, clock,
-/// traffic stats, cost model).
+/// One shard of the kernel: event heap, clock, traffic stats and NIC /
+/// receive-path occupancy for the nodes it owns, plus the per-link PRNG
+/// streams for jitter and fault injection on links *originating* at its
+/// nodes. Per-node vectors are indexed by `node - lo` where `lo` is the
+/// first node of the shard.
 pub struct Kernel<N: NodeBehavior + ?Sized> {
+    part: Partition,
+    shard: usize,
+    /// First global node id owned by this shard.
+    lo: u32,
     heap: BinaryHeap<Reverse<HeapEntry<N::Msg>>>,
-    seq: u64,
+    /// Per-owned-node schedule sequence counters (heap tiebreak).
+    next_seq: Vec<u64>,
+    /// Per-owned-node send sequence counters (admission tiebreak).
+    send_seq: Vec<u64>,
     now: SimTime,
+    /// End of the current processing window: events strictly before it
+    /// may run; everything else waits for the next barrier.
+    window_end: SimTime,
     pub(crate) stats: NetStats,
     model: CostModel,
-    jitter: XorShift64,
-    /// PRNG for fault injection, independent of the jitter stream so a
-    /// fault plan never perturbs jitter decisions (and vice versa).
-    faults_rng: XorShift64,
+    /// Per-link jitter PRNG streams (`local_src * nnodes + dst`), empty
+    /// when jitter is off. Per-link (not global) so that draw order —
+    /// and therefore the whole timeline — is independent of how sends
+    /// from different nodes interleave across shards.
+    jitter_rng: Vec<XorShift64>,
+    /// Per-link fault-injection PRNG streams, independent of the jitter
+    /// streams so a fault plan never perturbs jitter decisions (and
+    /// vice versa). Empty when the fault plan is disabled.
+    faults_rng: Vec<XorShift64>,
     /// Precomputed 53-bit thresholds for the fault draws.
     drop_thr: u64,
     dup_thr: u64,
     spike_thr: u64,
     faults_on: bool,
+    jitter_on: bool,
     pub(crate) app: Vec<AppSlot<N::Reply>>,
     nnodes: u32,
-    events_processed: u64,
+    /// Events processed across *all* shards (shared counter): the
+    /// livelock backstop must see global progress, and per-pop checks
+    /// keep a zero-delay in-window spin from running away on any shard.
+    events: Arc<AtomicU64>,
     max_events: u64,
     /// Per-node time at which the send path (CPU + NIC tx) frees up.
     /// Serializes outgoing messages so a manager broadcasting to N
     /// nodes pays N transmission times — the bottleneck the
-    /// centralized-vs-distributed experiments measure.
+    /// centralized-vs-distributed experiments measure. Only ever
+    /// touched while processing the owning node's events, so its
+    /// evolution is partition-independent.
     nic_free: Vec<SimTime>,
     /// Per-node receive-path occupancy, serializing inbound handling.
+    /// Advanced only during canonical admission, never at send time.
     recv_free: Vec<SimTime>,
     /// Mirror of the event heap restricted to events that run *on* a
-    /// given node (Deliver/Timer), as a per-node min-heap of times.
-    /// Supports O(log n) computation of the run-ahead budget handed to
-    /// application programs (see [`Kernel::local_budget`]).
+    /// given owned node (Deliver/Timer), as a per-node min-heap of
+    /// times. Supports O(log n) computation of the run-ahead budget
+    /// handed to application programs (see [`Kernel::local_budget`]).
     direct_min: Vec<BinaryHeap<Reverse<SimTime>>>,
-    /// Minimum virtual-time distance between processing any event and a
-    /// message it sends arriving anywhere: the PDES lookahead.
-    min_net_delay: Dur,
     /// Run-ahead quantum cap handed out by [`Kernel::local_budget`].
     local_quantum: Dur,
-    /// Kernel→program floor handoffs (`Go` grants) performed so far —
-    /// the rendezvous count reported in run results.
+    /// Kernel→program floor handoffs (`Go` grants) performed so far on
+    /// this shard — summed into the rendezvous count in run results.
     pub(crate) rendezvous: u64,
+    /// Outgoing messages staged during the current window, one bucket
+    /// per destination shard, flushed to the shared inboxes at the
+    /// window boundary.
+    outgoing: Vec<Vec<InTransit<N::Msg>>>,
+}
+
+/// Stream seed for the (src, dst) link PRNGs: the base seed (jitter or
+/// fault plan) mixed with the link id through a splitmix64 finalizer,
+/// so neighboring links get uncorrelated streams and different base
+/// seeds give different timelines on every link.
+fn link_seed(base: u64, src: u32, dst: u32) -> u64 {
+    let link = ((src as u64) << 32) | dst as u64;
+    let mut z = base ^ link.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl<N: NodeBehavior + ?Sized> Kernel<N> {
-    pub(crate) fn new(nnodes: u32, model: CostModel) -> Self {
-        let jitter = XorShift64::new(model.jitter_seed);
-        let faults_rng = XorShift64::new(model.faults.seed);
+    pub(crate) fn new(
+        part: Partition,
+        shard: usize,
+        model: CostModel,
+        events: Arc<AtomicU64>,
+    ) -> Self {
+        let range = part.range(shard);
+        let lo = range.start;
+        let owned = range.len();
+        let nnodes = {
+            // Total node count is a Partition invariant; recover it from
+            // the last shard's range end.
+            part.range(part.workers() - 1).end
+        };
         let drop_thr = FaultPlan::threshold(model.faults.drop_prob);
         let dup_thr = FaultPlan::threshold(model.faults.dup_prob);
         let spike_thr = if model.faults.spike_max > Dur::ZERO {
@@ -213,33 +357,68 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
             0
         };
         let faults_on = model.faults.enabled();
-        let min_net_delay = model.send_overhead
-            + model.wire_latency
-            + model.recv_overhead
-            + Dur::nanos(model.header_bytes as u64 * model.ns_per_byte);
+        let jitter_on = model.jitter_max > Dur::ZERO;
+        let jitter_rng = if jitter_on {
+            (0..owned as u32)
+                .flat_map(|s| (0..nnodes).map(move |d| (lo + s, d)))
+                .map(|(s, d)| XorShift64::new(link_seed(model.jitter_seed, s, d)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let faults_rng = if faults_on {
+            (0..owned as u32)
+                .flat_map(|s| (0..nnodes).map(move |d| (lo + s, d)))
+                .map(|(s, d)| XorShift64::new(link_seed(model.faults.seed, s, d)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Kernel {
+            part,
+            shard,
+            lo,
             heap: BinaryHeap::new(),
-            seq: 0,
+            next_seq: vec![0; owned],
+            send_seq: vec![0; owned],
             now: SimTime::ZERO,
+            window_end: SimTime::ZERO,
             stats: NetStats::new(),
             model,
-            jitter,
+            jitter_rng,
             faults_rng,
             drop_thr,
             dup_thr,
             spike_thr,
             faults_on,
-            app: (0..nnodes).map(|_| AppSlot::default()).collect(),
+            jitter_on,
+            app: (0..owned).map(|_| AppSlot::default()).collect(),
             nnodes,
-            events_processed: 0,
+            events,
             max_events: u64::MAX,
-            nic_free: vec![SimTime::ZERO; nnodes as usize],
-            recv_free: vec![SimTime::ZERO; nnodes as usize],
-            direct_min: (0..nnodes).map(|_| BinaryHeap::new()).collect(),
-            min_net_delay,
+            nic_free: vec![SimTime::ZERO; owned],
+            recv_free: vec![SimTime::ZERO; owned],
+            direct_min: (0..owned).map(|_| BinaryHeap::new()).collect(),
             local_quantum: MAX_LOCAL_QUANTUM,
             rendezvous: 0,
+            outgoing: (0..part.workers()).map(|_| Vec::new()).collect(),
         }
+    }
+
+    /// First global node id owned by this shard.
+    pub(crate) fn lo(&self) -> u32 {
+        self.lo
+    }
+
+    /// Local index of an owned node.
+    #[inline]
+    fn li(&self, node: NodeId) -> usize {
+        debug_assert!(
+            self.part.shard_of(node) == self.shard,
+            "node {node} is not owned by shard {}",
+            self.shard
+        );
+        (node.0 - self.lo) as usize
     }
 
     /// Set the run-ahead quantum cap (defaults to
@@ -248,27 +427,27 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
         self.local_quantum = q;
     }
 
-    /// Cap the number of events processed; the driver treats exceeding
-    /// it as a protocol livelock and panics with a diagnostic dump.
+    /// Cap the number of events processed (across all shards); the
+    /// driver treats exceeding it as a protocol livelock and panics
+    /// with a diagnostic dump.
     pub(crate) fn set_max_events(&mut self, max: u64) {
         self.max_events = max;
     }
 
-    /// True once more events than the configured cap have been popped.
+    /// True once more events than the configured cap have been popped
+    /// across all shards. Checked per pop so a zero-delay in-window
+    /// spin cannot outrun the backstop on any shard.
     pub(crate) fn over_event_budget(&self) -> bool {
-        self.events_processed > self.max_events
-    }
-
-    pub(crate) fn max_events(&self) -> u64 {
-        self.max_events
-    }
-
-    pub(crate) fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.events.load(Ordering::Relaxed) > self.max_events
     }
 
     pub(crate) fn heap_len(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Earliest pending event on this shard, if any.
+    pub(crate) fn heap_min(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
     }
 
     /// One-line description of the next event in the heap, for the
@@ -284,9 +463,10 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
         })
     }
 
-    /// Short state tag for one node's program, for diagnostics.
-    pub(crate) fn app_state(&self, node: usize) -> &'static str {
-        let s = &self.app[node];
+    /// Short state tag for one node's program (local index), for
+    /// diagnostics.
+    pub(crate) fn app_state(&self, local: usize) -> &'static str {
+        let s = &self.app[local];
         if s.finished {
             "finished"
         } else if s.pending_reply.is_some() {
@@ -300,30 +480,39 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
 
     pub(crate) fn schedule(&mut self, at: SimTime, event: Event<N::Msg>) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
+        let node = event.node();
+        let l = self.li(node);
         match &event {
-            Event::Deliver { dst, .. } => self.direct_min[dst.index()].push(Reverse(at)),
-            Event::Timer { node, .. } => self.direct_min[node.index()].push(Reverse(at)),
+            Event::Deliver { .. } | Event::Timer { .. } => self.direct_min[l].push(Reverse(at)),
             Event::Resume { .. } => {}
         }
-        let seq = self.seq;
-        self.seq += 1;
+        let seq = self.next_seq[l];
+        self.next_seq[l] += 1;
         self.heap.push(Reverse(HeapEntry {
             time: at,
+            node: node.0,
             seq,
             event,
         }));
     }
 
-    pub(crate) fn pop(&mut self) -> Option<(SimTime, Event<N::Msg>)> {
-        let Reverse(e) = self.heap.pop()?;
-        self.events_processed += 1;
+    /// Advance the processing window to end at `w`.
+    pub(crate) fn set_window_end(&mut self, w: SimTime) {
+        debug_assert!(w >= self.window_end, "windows only move forward");
+        self.window_end = w;
+    }
+
+    /// Pop the next event if it falls inside the current window.
+    pub(crate) fn pop_in_window(&mut self) -> Option<(SimTime, Event<N::Msg>)> {
+        if self.heap.peek()?.0.time >= self.window_end {
+            return None;
+        }
+        let Reverse(e) = self.heap.pop().expect("peeked above");
+        self.events.fetch_add(1, Ordering::Relaxed);
         match &e.event {
-            Event::Deliver { dst, .. } => {
-                let popped = self.direct_min[dst.index()].pop();
-                debug_assert_eq!(popped, Some(Reverse(e.time)));
-            }
-            Event::Timer { node, .. } => {
-                let popped = self.direct_min[node.index()].pop();
+            Event::Deliver { .. } | Event::Timer { .. } => {
+                let li = self.li(e.event.node());
+                let popped = self.direct_min[li].pop();
                 debug_assert_eq!(popped, Some(Reverse(e.time)));
             }
             Event::Resume { .. } => {}
@@ -332,29 +521,65 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
         Some((e.time, e.event))
     }
 
+    /// Flush the messages staged during this window into the shared
+    /// per-shard inboxes. Push order into an inbox is irrelevant: the
+    /// receiving shard sorts the batch canonically before admission.
+    pub(crate) fn flush_outgoing(&mut self, inboxes: &[Mutex<Vec<InTransit<N::Msg>>>]) {
+        for (shard, staged) in self.outgoing.iter_mut().enumerate() {
+            if !staged.is_empty() {
+                inboxes[shard]
+                    .lock()
+                    .expect("inbox poisoned")
+                    .append(staged);
+            }
+        }
+    }
+
+    /// Admit one window's inbox batch: sort by the canonical key, apply
+    /// receiver-side serialization, and schedule the Deliver events.
+    pub(crate) fn admit(&mut self, mut batch: Vec<InTransit<N::Msg>>) {
+        batch.sort_unstable_by_key(|m| (m.arrive, m.src.0, m.seq));
+        for m in batch {
+            let l = self.li(m.dst);
+            let deliver = m.arrive.max(self.recv_free[l]) + self.model.recv_overhead;
+            self.recv_free[l] = deliver;
+            self.schedule(
+                deliver,
+                Event::Deliver {
+                    src: m.src,
+                    dst: m.dst,
+                    msg: m.msg,
+                },
+            );
+        }
+    }
+
     /// Virtual-time budget granted to `node`'s program for local
     /// run-ahead (the lease quantum): the program may consume up to this
     /// much virtual time — servicing page hits and pure computation on
     /// its own thread — without rendezvousing with the kernel.
     ///
-    /// Sound because while a program holds the floor the kernel is
-    /// parked, so the event heap is frozen. Any event that could mutate
-    /// this node's protocol state before the horizon either (a) already
-    /// targets this node and is bounded by `direct_min`, or (b) must be
-    /// generated by processing some event at `heap top` or later and so
-    /// cannot arrive before `heap top + min_net_delay`. One nanosecond
-    /// is shaved off so locally serviced accesses stay strictly before
-    /// any handler the kernel has yet to run (see docs/PERF.md). Fault
-    /// injection never shortens a delivery (drops remove it, spikes
-    /// lengthen it), so the lookahead bound survives a lossy network.
+    /// Sound because while a program holds the floor its shard's kernel
+    /// is parked, so the shard's event heap is frozen. Any event that
+    /// could mutate this node's protocol state before the horizon
+    /// either (a) already targets this node and is bounded by
+    /// `direct_min`, or (b) is a message admitted at a future window
+    /// boundary, whose delivery time is at least `window_end` (every
+    /// delivery is at least `min_net_delay` after the send instant, and
+    /// every in-window send instant is at least `global_min`). One
+    /// nanosecond is shaved off so locally serviced accesses stay
+    /// strictly before any handler the kernel has yet to run (see
+    /// docs/PERF.md). Fault injection never shortens a delivery (drops
+    /// remove it, spikes lengthen it), so the lookahead bound survives
+    /// a lossy network. All three horizon terms are independent of the
+    /// partition, so granted budgets are identical for any worker
+    /// count.
     pub(crate) fn local_budget(&self, node: NodeId) -> Dur {
         let mut horizon = self.now.0.saturating_add(self.local_quantum.0);
-        if let Some(&Reverse(t)) = self.direct_min[node.index()].peek() {
+        if let Some(&Reverse(t)) = self.direct_min[self.li(node)].peek() {
             horizon = horizon.min(t.0);
         }
-        if let Some(Reverse(e)) = self.heap.peek() {
-            horizon = horizon.min(e.time.0.saturating_add(self.min_net_delay.0));
-        }
+        horizon = horizon.min(self.window_end.0);
         Dur(horizon.saturating_sub(self.now.0).saturating_sub(1))
     }
 
@@ -362,22 +587,26 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
         self.now
     }
 
-    pub(crate) fn all_finished(&self) -> bool {
-        self.app.iter().all(|s| s.finished)
-    }
-
+    /// Global ids of this shard's never-finished nodes.
     pub(crate) fn blocked_nodes(&self) -> Vec<NodeId> {
         self.app
             .iter()
             .enumerate()
             .filter(|(_, s)| !s.finished)
-            .map(|(i, _)| NodeId(i as u32))
+            .map(|(i, _)| NodeId(self.lo + i as u32))
             .collect()
     }
 
-    /// One 53-bit fault draw (uniform in `[0, 2^53)`).
-    fn fault_draw(&mut self) -> u64 {
-        self.faults_rng.next_u64() >> 11
+    /// One 53-bit fault draw (uniform in `[0, 2^53)`) on the (src, dst)
+    /// link stream.
+    fn fault_draw(&mut self, link: usize) -> u64 {
+        self.faults_rng[link].next_u64() >> 11
+    }
+
+    /// Index into the per-link stream tables.
+    #[inline]
+    fn link(&self, src: NodeId, dst: NodeId) -> usize {
+        (src.0 - self.lo) as usize * self.nnodes as usize + dst.0 as usize
     }
 
     fn send_inner(&mut self, src: NodeId, dst: NodeId, msg: N::Msg, extra: Dur) {
@@ -387,46 +616,61 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
         // already transmitting.
         let total_bytes = (bytes + self.model.header_bytes) as u64;
         let tx = self.model.send_overhead + Dur::nanos(total_bytes * self.model.ns_per_byte);
-        let depart_start = (self.now + extra).max(self.nic_free[src.index()]);
+        let s = self.li(src);
+        let depart_start = (self.now + extra).max(self.nic_free[s]);
         let depart_end = depart_start + tx;
-        self.nic_free[src.index()] = depart_end;
+        self.nic_free[s] = depart_end;
         // Fault injection. Node-local sends never cross the lossy wire.
-        // The draw order is fixed (drop, then dup, then one spike draw
-        // per delivered copy) so runs are reproducible per seed. A
-        // dropped message still occupied the sender's NIC above: the
-        // packet left the host and died on the wire.
+        // The draw order is fixed per link (drop, then dup, then one
+        // spike draw per staged copy) so runs are reproducible per seed
+        // and per worker count. A dropped message still occupied the
+        // sender's NIC above: the packet left the host and died on the
+        // wire.
         if self.faults_on && src != dst {
-            if self.fault_draw() < self.drop_thr {
+            let link = self.link(src, dst);
+            if self.fault_draw(link) < self.drop_thr {
                 self.stats.record_dropped(msg.kind_id(), msg.kind());
                 return;
             }
-            if self.fault_draw() < self.dup_thr {
+            if self.fault_draw(link) < self.dup_thr {
                 self.stats.record_duplicated(msg.kind_id(), msg.kind());
                 let copy = msg.clone();
-                self.deliver_copy(depart_end, src, dst, copy);
+                self.stage_copy(depart_end, src, dst, copy);
             }
         }
-        self.deliver_copy(depart_end, src, dst, msg);
+        self.stage_copy(depart_end, src, dst, msg);
     }
 
-    /// Wire + receiver half of a delivery: jitter, delay spikes, and
-    /// inbound serialization, ending in a scheduled Deliver event.
-    fn deliver_copy(&mut self, depart_end: SimTime, src: NodeId, dst: NodeId, msg: N::Msg) {
+    /// Wire half of a delivery: jitter and delay spikes on the link
+    /// stream, ending in a staged [`InTransit`] record bound for the
+    /// destination's shard (possibly this one — same-shard and self
+    /// sends take the identical path so the timeline cannot depend on
+    /// the partition). Receiver-side serialization happens at
+    /// admission.
+    fn stage_copy(&mut self, depart_end: SimTime, src: NodeId, dst: NodeId, msg: N::Msg) {
         let mut arrive = depart_end + self.model.wire_latency;
-        if self.model.jitter_max > Dur::ZERO {
-            arrive += Dur::nanos(self.jitter.below(self.model.jitter_max.as_nanos()));
+        if self.jitter_on {
+            let link = self.link(src, dst);
+            arrive += Dur::nanos(self.jitter_rng[link].below(self.model.jitter_max.as_nanos()));
         }
-        if self.faults_on && src != dst && self.spike_thr > 0 && self.fault_draw() < self.spike_thr
-        {
-            arrive += Dur::nanos(
-                self.faults_rng
-                    .below(self.model.faults.spike_max.as_nanos()),
-            );
+        if self.faults_on && src != dst && self.spike_thr > 0 {
+            let link = self.link(src, dst);
+            if self.fault_draw(link) < self.spike_thr {
+                let spike = self.model.faults.spike_max.as_nanos();
+                arrive += Dur::nanos(self.faults_rng[link].below(spike));
+            }
         }
-        // Receiver side: inbound messages are handled one at a time.
-        let deliver = arrive.max(self.recv_free[dst.index()]) + self.model.recv_overhead;
-        self.recv_free[dst.index()] = deliver;
-        self.schedule(deliver, Event::Deliver { src, dst, msg });
+        let s = self.li(src);
+        let seq = self.send_seq[s];
+        self.send_seq[s] += 1;
+        let shard = self.part.shard_of(dst);
+        self.outgoing[shard].push(InTransit {
+            arrive,
+            src,
+            seq,
+            dst,
+            msg,
+        });
     }
 }
 
@@ -448,7 +692,8 @@ impl<N: NodeBehavior + ?Sized> NetPort<N::Msg, N::Reply> for Kernel<N> {
     }
 
     fn complete_op_after(&mut self, node: NodeId, reply: N::Reply, delay: Dur) {
-        let slot = &mut self.app[node.index()];
+        let li = self.li(node);
+        let slot = &mut self.app[li];
         assert!(
             (slot.blocked || slot.in_op) && slot.pending_reply.is_none(),
             "complete_op on {} with no parked op",
@@ -461,7 +706,7 @@ impl<N: NodeBehavior + ?Sized> NetPort<N::Msg, N::Reply> for Kernel<N> {
     }
 
     fn op_parked(&self, node: NodeId) -> bool {
-        self.app[node.index()].blocked
+        self.app[self.li(node)].blocked
     }
 
     fn set_timer_on(&mut self, node: NodeId, delay: Dur, token: u64) {
@@ -546,5 +791,44 @@ impl<'a, N: NodeBehavior + ?Sized> Ctx<'a, N> {
     /// anything (used to account for piggybacked payloads).
     pub fn account(&mut self, id: crate::stats::KindId, kind: &'static str, bytes: usize) {
         self.port.account(id, kind, bytes);
+    }
+}
+
+/// Shared event counter for a run: one per [`crate::driver::Sim::run`],
+/// cloned into every shard.
+pub(crate) fn new_event_counter() -> Arc<AtomicU64> {
+    Arc::new(AtomicU64::new(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_blocks_are_contiguous_and_exhaustive() {
+        for nnodes in [1u32, 2, 3, 7, 8, 64, 1023] {
+            for workers in [1u32, 2, 3, 4, 8, 200] {
+                let p = Partition::new(nnodes, workers);
+                let mut next = 0u32;
+                for s in 0..p.workers() {
+                    let r = p.range(s);
+                    assert_eq!(r.start, next, "gap at shard {s}");
+                    assert!(!r.is_empty(), "empty shard {s}");
+                    for n in r.clone() {
+                        assert_eq!(p.shard_of(NodeId(n)), s);
+                    }
+                    next = r.end;
+                }
+                assert_eq!(next, nnodes, "partition must cover all nodes");
+            }
+        }
+    }
+
+    #[test]
+    fn link_seeds_differ_per_link_and_per_base() {
+        let a = link_seed(1, 0, 1);
+        assert_ne!(a, link_seed(1, 1, 0), "direction must matter");
+        assert_ne!(a, link_seed(1, 0, 2), "destination must matter");
+        assert_ne!(a, link_seed(2, 0, 1), "base seed must matter");
     }
 }

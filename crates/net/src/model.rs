@@ -208,6 +208,20 @@ impl CostModel {
     pub fn mem_copy(&self, bytes: usize) -> Dur {
         Dur::nanos(bytes as u64 * self.mem_ns_per_byte)
     }
+
+    /// Minimum virtual-time distance between processing any event and a
+    /// message it sends being delivered anywhere: the conservative PDES
+    /// lookahead. This is [`CostModel::delivery_delay`] of an empty
+    /// body; jitter, delay spikes, and NIC/receive-path queueing only
+    /// ever lengthen a delivery, and drops remove it, so no delivery
+    /// can undercut this bound. The sharded kernel derives its
+    /// synchronization windows from it.
+    pub fn min_net_delay(&self) -> Dur {
+        self.send_overhead
+            + self.wire_latency
+            + self.recv_overhead
+            + Dur::nanos(self.header_bytes as u64 * self.ns_per_byte)
+    }
 }
 
 impl Default for CostModel {

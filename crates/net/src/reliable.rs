@@ -30,6 +30,16 @@
 //! run is bit-reproducible per seed, and with [`FaultPlan`] disabled the
 //! wrapper is never needed at all.
 //!
+//! The transport is also safe under the *sharded* kernel's
+//! conservative lookahead windows: retransmission timers are ordinary
+//! [`Ctx::set_timer`] events on the owning node — node-local, ordered
+//! by the owner's shard heap like any other event — so only real
+//! frames ever cross a shard boundary, and every frame pays at least
+//! the cost model's `min_net_delay`, which is exactly the bound the
+//! window is derived from. Go-back-N retransmission therefore needs no
+//! special-casing in the window protocol, and worker count stays
+//! unobservable under loss (`tests/faulty_determinism.rs`).
+//!
 //! Timer tokens: the transport reserves tokens with bit 63 set
 //! ([`REL_TIMER_BIT`]); wrapped behaviors must keep that bit clear
 //! (checked with a debug assertion).

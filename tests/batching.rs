@@ -215,8 +215,10 @@ fn queue_drains_before_writes_and_sync() {
     }
 }
 
-/// A hint window far wider than the batch depth must clamp, not
-/// overflow: one 12-page window at depth 4 still gives correct sums.
+/// A hint window far wider than any batch cap must clamp, not
+/// overflow: with adaptive depth the window sizes the batch, clamped
+/// by `MAX_BATCH_DEPTH` and the protocol's own limit — a whole-heap
+/// window on a depth-4 config still gives correct sums.
 #[test]
 fn oversized_hint_window_clamps_to_depth() {
     let want = expected_sum();

@@ -141,6 +141,91 @@ fn taskqueue_fast_path_matches_slow_path() {
     }
 }
 
+/// Sharded-kernel invariance: the worker count must be invisible in
+/// every observable — results, final memory image, virtual completion
+/// time, and the full per-kind traffic table — for all eight protocols.
+/// Eight nodes so every worker count in the sweep yields a different
+/// partition (1, 2, 4, and 8 shards), with jitter on so the per-link
+/// PRNG streams are exercised across shard boundaries.
+#[test]
+fn sor_trace_identical_for_every_worker_count() {
+    let p = sor::SorParams {
+        n: 16,
+        iters: 2,
+        omega: 1.25,
+    };
+    let heap = p.heap_bytes();
+    let run = |proto: ProtocolKind, workers: usize| {
+        let cfg = DsmConfig::new(8, proto)
+            .heap_bytes(heap)
+            .model(model())
+            .workers(workers);
+        let res = dsm_core::run_dsm(&cfg, |dsm: &Dsm<'_>| {
+            let sum = sor::run(dsm, &p);
+            (sum.to_bits(), quiesce_and_image(dsm, heap))
+        });
+        Trace {
+            results: res.results,
+            end_time: res.end_time,
+            stats: res.stats,
+        }
+    };
+    for proto in ProtocolKind::ALL {
+        let w1 = run(proto, 1);
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                w1,
+                run(proto, workers),
+                "{proto}: SOR trace diverged at workers={workers}"
+            );
+        }
+    }
+}
+
+/// Same invariance on the lock-bound task queue, whose polling makes
+/// the event interleaving much more sensitive to ordering than SOR's
+/// barrier phases.
+#[test]
+fn taskqueue_trace_identical_for_every_worker_count() {
+    let p = taskqueue::TaskQueueParams {
+        tasks: 8,
+        task_time: Dur::millis(2),
+        produce_time: Dur::micros(50),
+        poll: Dur::micros(500),
+    };
+    let heap = p.heap_bytes();
+    let (lock, addr, len) = p.binding();
+    let run = |proto: ProtocolKind, workers: usize| {
+        let cfg = DsmConfig::new(8, proto)
+            .heap_bytes(heap)
+            .model(model())
+            .bind(lock, addr, len)
+            .workers(workers);
+        let res = dsm_core::run_dsm(&cfg, |dsm: &Dsm<'_>| {
+            let r = taskqueue::run(dsm, &p);
+            (
+                (r.executed, r.id_sum, r.id_xor),
+                quiesce_and_image(dsm, heap),
+            )
+        });
+        Trace {
+            results: res.results,
+            end_time: res.end_time,
+            stats: res.stats,
+        }
+    };
+    for proto in ProtocolKind::ALL {
+        let w1 = run(proto, 1);
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                w1,
+                run(proto, workers),
+                "{proto}: taskqueue trace diverged at workers={workers}"
+            );
+        }
+    }
+}
+
 /// LRC interval GC must be invisible to the application: same seed, GC
 /// on vs off, every protocol — bit-identical per-node results and final
 /// memory images. Only outputs are compared: with GC the epoch's diffs
