@@ -55,6 +55,8 @@ pub fn run(dsm: &Dsm<'_>, p: &MatmulParams) -> f64 {
         let brow: Vec<f64> = (0..n).map(|c| b_init(n, r, c)).collect();
         dsm.write_f64s(p.b_row(r), &brow);
     }
+    // Unique id per barrier episode: required by the crash-aware
+    // centralized barrier (release replay is keyed by episode id).
     dsm.barrier(0);
 
     // C[r] = sum_k A[r][k] * B[k]; read B rows on demand (they cache).
@@ -78,7 +80,7 @@ pub fn run(dsm: &Dsm<'_>, p: &MatmulParams) -> f64 {
             dsm.write_f64s(p.c_row(r), &crow);
         }
     }
-    dsm.barrier(0);
+    dsm.barrier(1);
 
     let mut sum = 0.0;
     for r in lo..hi {

@@ -91,7 +91,11 @@ pub fn run(dsm: &Dsm<'_>, p: &SorParams) -> f64 {
         let row: Vec<f64> = (0..n).map(|c| initial(n, r, c)).collect();
         dsm.write_f64s(p.row_addr(r), &row);
     }
-    dsm.barrier(0);
+    // Unique id per barrier episode: required by the crash-aware
+    // centralized barrier (release replay is keyed by episode id).
+    let mut bar = 0u32;
+    dsm.barrier(bar);
+    bar += 1;
 
     // Every color sweep streams rows lo-1..=hi in order (each row plus
     // its neighbors): declare that neighborhood as the read-ahead
@@ -108,7 +112,8 @@ pub fn run(dsm: &Dsm<'_>, p: &SorParams) -> f64 {
                     dsm.write_f64s(p.row_addr(r), &cur);
                     compute_flops(dsm, flops);
                 }
-                dsm.barrier(0);
+                dsm.barrier(bar);
+                bar += 1;
             }
         }
     }

@@ -9,6 +9,7 @@
 //! ```
 
 use dsm_apps::{fft, gauss, jacobi, matmul, sor, sort, taskqueue, tsp};
+use dsm_bench::cli::{parse_crash, parse_partition, CrashSpec, PartitionSpec};
 use dsm_core::{
     BarrierKind, Dsm, DsmConfig, Dur, EntryBinding, FaultPlan, LockKind, Placement, ProtocolKind,
 };
@@ -30,6 +31,8 @@ struct Args {
     drop_prob: f64,
     dup_prob: f64,
     fault_seed: u64,
+    crashes: Vec<CrashSpec>,
+    partitions: Vec<PartitionSpec>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +53,8 @@ fn parse_args() -> Result<Args, String> {
         drop_prob: 0.0,
         dup_prob: 0.0,
         fault_seed: 1,
+        crashes: Vec::new(),
+        partitions: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -58,8 +63,9 @@ fn parse_args() -> Result<Args, String> {
             "--list" => {
                 println!("apps:      sor jacobi matmul gauss fft sort taskqueue tsp");
                 println!(
-                    "protocols: {}",
-                    ProtocolKind::ALL.map(|p| p.name()).join(" ")
+                    "protocols: {} {}",
+                    ProtocolKind::ALL.map(|p| p.name()).join(" "),
+                    ProtocolKind::Scabd.name()
                 );
                 println!("locks:     queue central");
                 println!("barriers:  central tree2 tree4");
@@ -69,10 +75,16 @@ fn parse_args() -> Result<Args, String> {
             "--app" => args.app = val()?,
             "--proto" => {
                 let v = val()?;
-                args.proto = ProtocolKind::ALL
-                    .into_iter()
-                    .find(|p| p.name() == v)
-                    .ok_or_else(|| format!("unknown protocol {v}"))?;
+                // scabd is outside ALL (it answers the fault-tolerance
+                // question, not the 1992 comparison) but fully runnable.
+                args.proto = if v == ProtocolKind::Scabd.name() {
+                    ProtocolKind::Scabd
+                } else {
+                    ProtocolKind::ALL
+                        .into_iter()
+                        .find(|p| p.name() == v)
+                        .ok_or_else(|| format!("unknown protocol {v}"))?
+                };
             }
             "--nodes" => args.nodes = val()?.parse().map_err(|e| format!("{e}"))?,
             "--page" => args.page = val()?.parse().map_err(|e| format!("{e}"))?,
@@ -108,6 +120,8 @@ fn parse_args() -> Result<Args, String> {
             "--drop-prob" => args.drop_prob = val()?.parse().map_err(|e| format!("{e}"))?,
             "--dup-prob" => args.dup_prob = val()?.parse().map_err(|e| format!("{e}"))?,
             "--fault-seed" => args.fault_seed = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--crash" => args.crashes.push(parse_crash(&val()?)?),
+            "--partition" => args.partitions.push(parse_partition(&val()?)?),
             other => return Err(format!("unknown flag {other} (try --list)")),
         }
     }
@@ -123,7 +137,8 @@ fn main() {
                 "usage: dsmrun --app <name> --proto <name> [--nodes N] [--page B] \
                  [--size S] [--placement P] [--lock K] [--barrier K] \
                  [--no-fast-path] [--no-lrc-gc] [--batch-depth D] [--quantum-us U] \
-                 [--workers W] [--drop-prob P] [--dup-prob P] [--fault-seed S] | --list"
+                 [--workers W] [--drop-prob P] [--dup-prob P] [--fault-seed S] \
+                 [--crash node@t_us[:recover_us]]... [--partition a,b|c,d@t1..t2]... | --list"
             );
             std::process::exit(2);
         }
@@ -140,7 +155,11 @@ fn main() {
             .lrc_gc(a.lrc_gc)
             .batch_depth(a.batch_depth)
             .max_events(2_000_000_000)
-            .faults(FaultPlan::lossy(a.drop_prob, a.dup_prob, a.fault_seed));
+            .faults(dsm_bench::cli::apply(
+                FaultPlan::lossy(a.drop_prob, a.dup_prob, a.fault_seed),
+                &a.crashes,
+                &a.partitions,
+            ));
         let cfg = if a.workers > 0 {
             cfg.workers(a.workers)
         } else {
@@ -319,6 +338,18 @@ fn main() {
         println!(
             "faults: drop={} dup={} seed={} (reliable transport engaged)",
             a.drop_prob, a.dup_prob, a.fault_seed
+        );
+    }
+    for c in &a.crashes {
+        match c.recover {
+            Some(r) => println!("crash: node {} at {}, recovers at {r}", c.node, c.at),
+            None => println!("crash: node {} at {} (permanent)", c.node, c.at),
+        }
+    }
+    for p in &a.partitions {
+        println!(
+            "partition: {:?} | {:?} during {}..{}",
+            p.a, p.b, p.from, p.until
         );
     }
     println!("virtual completion time: {end}");

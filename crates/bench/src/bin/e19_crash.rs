@@ -1,0 +1,29 @@
+//! Regenerates one experiment table (see EXPERIMENTS.md). `--quick`
+//! runs the reduced-size variant; `--json` also writes
+//! `BENCH_e19_crash.json` into the current directory.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let json = std::env::args().any(|a| a == "--json");
+    let scale = if quick {
+        dsm_bench::Scale::Quick
+    } else {
+        dsm_bench::Scale::Full
+    };
+    if json {
+        dsm_bench::json::enable();
+    }
+    dsm_bench::experiments::e19_crash(scale);
+    if json {
+        match dsm_bench::json::write_all(std::path::Path::new(".")) {
+            Ok(files) => {
+                for f in files {
+                    eprintln!("wrote {f}");
+                }
+            }
+            Err(e) => {
+                eprintln!("e19_crash: failed to write JSON output: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

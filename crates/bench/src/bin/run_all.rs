@@ -5,9 +5,16 @@
 //! `--workers N` spreads every simulation's kernel across N worker
 //! threads (same numbers, less wall-clock — equivalent to setting
 //! `DSM_WORKERS=N`).
+//!
+//! `--crash "node@t_us[:recover_us]"` / `--partition "a,b|c,d@t1..t2"`
+//! (same syntax as `dsmrun`, repeatable) append one custom-schedule
+//! scabd SOR run after the suite — a quick way to regenerate a fault
+//! scenario's table without reaching for `dsmrun`.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let json = std::env::args().any(|a| a == "--json");
+    let mut crashes = Vec::new();
+    let mut partitions = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         if flag == "--workers" {
@@ -22,6 +29,20 @@ fn main() {
             // Experiments build their DsmConfigs deep inside the table
             // generators; the env default is the one hook they all read.
             std::env::set_var("DSM_WORKERS", w.to_string());
+        } else if flag == "--crash" || flag == "--partition" {
+            let Some(v) = it.next() else {
+                eprintln!("run_all: {flag} needs a value");
+                std::process::exit(2);
+            };
+            let parsed = if flag == "--crash" {
+                dsm_bench::cli::parse_crash(&v).map(|c| crashes.push(c))
+            } else {
+                dsm_bench::cli::parse_partition(&v).map(|p| partitions.push(p))
+            };
+            if let Err(e) = parsed {
+                eprintln!("run_all: {e}");
+                std::process::exit(2);
+            }
         }
     }
     let scale = if quick {
@@ -33,6 +54,9 @@ fn main() {
         dsm_bench::json::enable();
     }
     dsm_bench::run_all(scale);
+    if !crashes.is_empty() || !partitions.is_empty() {
+        dsm_bench::experiments::custom_fault_run(scale, &crashes, &partitions);
+    }
     if json {
         match dsm_bench::json::write_all(std::path::Path::new(".")) {
             Ok(files) => {

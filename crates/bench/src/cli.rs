@@ -1,0 +1,148 @@
+//! Shared command-line plumbing for fault schedules: `dsmrun` and
+//! `run_all` accept the same `--crash` / `--partition` syntax, parsed
+//! here so the two front-ends cannot drift.
+//!
+//! All times are *virtual* microseconds.
+//!
+//! - `--crash "node@t[:recover_t]"` — crash `node` at `t` µs; with the
+//!   optional `:recover_t`, reboot it at `recover_t` µs (otherwise it
+//!   stays dead for the rest of the run).
+//! - `--partition "a,b|c,d@t1..t2"` — sever every link between the
+//!   comma-separated node groups on each side of the `|` from `t1` µs
+//!   (inclusive) to `t2` µs (exclusive). Partitions drop silently:
+//!   they exercise the timeout-driven failure detector, not the
+//!   crash notices.
+
+use dsm_core::{Dur, FaultPlan, SimTime};
+
+/// A parsed `--crash` spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    pub node: u32,
+    pub at: SimTime,
+    pub recover: Option<SimTime>,
+}
+
+/// A parsed `--partition` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSpec {
+    pub a: Vec<u32>,
+    pub b: Vec<u32>,
+    pub from: SimTime,
+    pub until: SimTime,
+}
+
+fn us(s: &str) -> Result<SimTime, String> {
+    let v: u64 = s
+        .parse()
+        .map_err(|_| format!("bad time {s:?} (virtual microseconds)"))?;
+    Ok(SimTime(Dur::micros(v).as_nanos()))
+}
+
+fn nodes(s: &str) -> Result<Vec<u32>, String> {
+    s.split(',')
+        .map(|n| n.parse().map_err(|_| format!("bad node id {n:?}")))
+        .collect()
+}
+
+/// Parse `node@t[:recover_t]` (times in virtual µs).
+pub fn parse_crash(s: &str) -> Result<CrashSpec, String> {
+    let (node, rest) = s
+        .split_once('@')
+        .ok_or_else(|| format!("--crash {s:?}: expected node@t_us[:recover_us]"))?;
+    let node = node
+        .parse()
+        .map_err(|_| format!("--crash {s:?}: bad node id {node:?}"))?;
+    let (at, recover) = match rest.split_once(':') {
+        Some((at, r)) => (us(at)?, Some(us(r)?)),
+        None => (us(rest)?, None),
+    };
+    if let Some(r) = recover {
+        if r <= at {
+            return Err(format!("--crash {s:?}: recovery must follow the crash"));
+        }
+    }
+    Ok(CrashSpec { node, at, recover })
+}
+
+/// Parse `a,b|c,d@t1..t2` (times in virtual µs).
+pub fn parse_partition(s: &str) -> Result<PartitionSpec, String> {
+    let (groups, span) = s
+        .split_once('@')
+        .ok_or_else(|| format!("--partition {s:?}: expected a,b|c,d@t1..t2 (µs)"))?;
+    let (a, b) = groups
+        .split_once('|')
+        .ok_or_else(|| format!("--partition {s:?}: groups must be separated by |"))?;
+    let (from, until) = span
+        .split_once("..")
+        .ok_or_else(|| format!("--partition {s:?}: time span must be t1..t2"))?;
+    let spec = PartitionSpec {
+        a: nodes(a)?,
+        b: nodes(b)?,
+        from: us(from)?,
+        until: us(until)?,
+    };
+    if spec.until <= spec.from {
+        return Err(format!(
+            "--partition {s:?}: span must have positive duration"
+        ));
+    }
+    if spec.a.iter().any(|n| spec.b.contains(n)) {
+        return Err(format!("--partition {s:?}: groups must be disjoint"));
+    }
+    Ok(spec)
+}
+
+/// Fold parsed specs into a fault plan.
+pub fn apply(
+    mut plan: FaultPlan,
+    crashes: &[CrashSpec],
+    partitions: &[PartitionSpec],
+) -> FaultPlan {
+    for c in crashes {
+        plan = plan.with_crash(c.node, c.at, c.recover);
+    }
+    for p in partitions {
+        plan = plan.with_partition(p.a.clone(), p.b.clone(), p.from, p.until);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_spec_round_trips() {
+        let c = parse_crash("3@900").unwrap();
+        assert_eq!(c.node, 3);
+        assert_eq!(c.at, SimTime(Dur::micros(900).as_nanos()));
+        assert_eq!(c.recover, None);
+        let c = parse_crash("0@100:250").unwrap();
+        assert_eq!(c.recover, Some(SimTime(Dur::micros(250).as_nanos())));
+        assert!(parse_crash("0@250:100").is_err());
+        assert!(parse_crash("junk").is_err());
+    }
+
+    #[test]
+    fn partition_spec_round_trips() {
+        let p = parse_partition("0,1|2,3@100..400").unwrap();
+        assert_eq!(p.a, vec![0, 1]);
+        assert_eq!(p.b, vec![2, 3]);
+        assert_eq!(p.from, SimTime(Dur::micros(100).as_nanos()));
+        assert_eq!(p.until, SimTime(Dur::micros(400).as_nanos()));
+        assert!(parse_partition("0|0@1..2").is_err());
+        assert!(parse_partition("0,1@1..2").is_err());
+        assert!(parse_partition("0|1@4..4").is_err());
+    }
+
+    #[test]
+    fn apply_builds_a_schedule() {
+        let plan = apply(
+            FaultPlan::NONE,
+            &[parse_crash("1@10:20").unwrap()],
+            &[parse_partition("0|1@5..9").unwrap()],
+        );
+        assert!(plan.enabled());
+    }
+}

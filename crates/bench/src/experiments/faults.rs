@@ -6,9 +6,10 @@
 //! at every point — that is the contract the transport sells.
 
 use super::Scale;
+use crate::json;
 use crate::table::{print_fault_table, print_table, Series};
-use dsm_apps::sor;
-use dsm_core::{Dsm, DsmConfig, FaultPlan, NetStats, ProtocolKind};
+use dsm_apps::{matmul, sor};
+use dsm_core::{Dsm, DsmConfig, FaultPlan, NetStats, ProtocolKind, SimTime};
 
 fn run_once(
     proto: ProtocolKind,
@@ -97,4 +98,219 @@ pub fn e16_faults(scale: Scale) {
             &stats,
         );
     }
+}
+
+/// One E19 run: a fixed page size (one row per page, so every page has
+/// a single writer — scabd's whole-page ABD registers must not race)
+/// and an explicit fault plan.
+fn run_e19(
+    proto: ProtocolKind,
+    nodes: u32,
+    page: usize,
+    heap: usize,
+    plan: FaultPlan,
+    app: impl Fn(&Dsm<'_>) -> f64 + Send + Sync,
+) -> dsm_core::RunResult<f64> {
+    let cfg = DsmConfig::new(nodes, proto)
+        .heap_bytes(heap)
+        .page_size(page)
+        .faults(plan)
+        .max_events(2_000_000_000);
+    dsm_core::run_dsm(&cfg, app)
+}
+
+/// E19 — what does quorum replication cost, and what does it buy?
+///
+/// Cost: SC-ABD's two-phase majority quorums vs the IVY family on SOR
+/// (E2) and matmul (E3) with no faults — the replication tax in time,
+/// messages and bytes. Buy: under a seeded mid-run crash schedule,
+/// scabd completes with a node dead (survivors keep forming 3-of-4
+/// majorities) and converges bit-identically through a crash+recovery,
+/// while IvyCentral's ownership directory dies with its manager and
+/// the run is caught by the watchdog.
+pub fn e19_crash(scale: Scale) {
+    let nodes = 4u32; // majority = 3: tolerates one death
+    let sor_p = sor::SorParams {
+        n: scale.pick(16, 32),
+        iters: scale.pick(2, 4),
+        omega: 1.25,
+    };
+    let mm_p = matmul::MatmulParams {
+        n: scale.pick(16, 32),
+    };
+    let sor_page = sor_p.n * 8;
+    let mm_page = mm_p.n * 8;
+
+    let run_sor = |proto: ProtocolKind, plan: FaultPlan| {
+        run_e19(proto, nodes, sor_page, sor_p.heap_bytes(), plan, move |d| {
+            sor::run(d, &sor_p)
+        })
+    };
+    let run_mm = |proto: ProtocolKind, plan: FaultPlan| {
+        run_e19(proto, nodes, mm_page, mm_p.heap_bytes(), plan, move |d| {
+            matmul::run(d, &mm_p)
+        })
+    };
+
+    // --- The replication tax, fault-free ---------------------------
+    let protos = [
+        ProtocolKind::IvyCentral,
+        ProtocolKind::IvyDynamic,
+        ProtocolKind::Scabd,
+    ];
+    let mut t_ms: Vec<Series> = Vec::new();
+    let mut msgs: Vec<Series> = Vec::new();
+    let mut bytes: Vec<Series> = Vec::new();
+    let mut clean_sor = None;
+    let mut clean_mm = None;
+    let mut ivy_sor_span = 0u64;
+    for proto in protos {
+        let s = run_sor(proto, FaultPlan::NONE);
+        let m = run_mm(proto, FaultPlan::NONE);
+        json::record_run("e19_crash", &format!("{} sor fault-free", proto.name()), &s);
+        json::record_run(
+            "e19_crash",
+            &format!("{} matmul fault-free", proto.name()),
+            &m,
+        );
+        let mut t = Series::new(proto.name());
+        let mut mm = Series::new(proto.name());
+        let mut b = Series::new(proto.name());
+        t.push(s.end_time.as_millis_f64());
+        t.push(m.end_time.as_millis_f64());
+        mm.push(s.stats.total_msgs() as f64);
+        mm.push(m.stats.total_msgs() as f64);
+        b.push(s.stats.total_bytes() as f64);
+        b.push(m.stats.total_bytes() as f64);
+        t_ms.push(t);
+        msgs.push(mm);
+        bytes.push(b);
+        if proto == ProtocolKind::IvyCentral {
+            ivy_sor_span = s.end_time.as_nanos();
+        }
+        if proto == ProtocolKind::Scabd {
+            clean_sor = Some(s);
+            clean_mm = Some(m);
+        }
+    }
+    let xs = vec!["sor".to_string(), "matmul".to_string()];
+    print_table(
+        "E19 (crash): replication tax, fault-free completion time (ms)",
+        "app",
+        &xs,
+        &t_ms,
+    );
+    print_table(
+        "E19 (crash): replication tax, total messages",
+        "app",
+        &xs,
+        &msgs,
+    );
+    print_table(
+        "E19 (crash): replication tax, total bytes",
+        "app",
+        &xs,
+        &bytes,
+    );
+    let clean_sor = clean_sor.unwrap();
+    let clean_mm = clean_mm.unwrap();
+
+    // --- scabd under seeded crash schedules ------------------------
+    // Crash the last node 2/5 of the way through the clean run;
+    // "recover" brings it back at 3/5, "dead" never does.
+    let victim = nodes - 1;
+    let mut sched = vec![Series::new("sor"), Series::new("matmul")];
+    let mut showcase: Option<NetStats> = None;
+    for (i, clean) in [&clean_sor, &clean_mm].into_iter().enumerate() {
+        let span = clean.end_time.as_nanos();
+        assert!(span > 0, "E19: empty clean run");
+        let at = SimTime(span * 2 / 5);
+        let back = SimTime(span * 3 / 5);
+        let run = |plan: FaultPlan| {
+            if i == 0 {
+                run_sor(ProtocolKind::Scabd, plan)
+            } else {
+                run_mm(ProtocolKind::Scabd, plan)
+            }
+        };
+        let app = if i == 0 { "sor" } else { "matmul" };
+        let rec = run(FaultPlan::NONE.with_crash(victim, at, Some(back)));
+        assert_eq!(rec.stats.crashes, 1, "E19 {app}: crash never fired");
+        assert_eq!(rec.stats.recoveries, 1, "E19 {app}: recovery never fired");
+        assert_eq!(
+            rec.results, clean.results,
+            "E19 {app}: scabd diverged from the crash-free run across a crash+recovery"
+        );
+        let dead = run(FaultPlan::NONE.with_crash(victim, at, None));
+        assert_eq!(dead.stats.crashes, 1);
+        assert_eq!(dead.stats.recoveries, 0);
+        json::record_run("e19_crash", &format!("scabd {app} crash+recover"), &rec);
+        json::record_run("e19_crash", &format!("scabd {app} crash-dead"), &dead);
+        sched[i].push(clean.end_time.as_millis_f64());
+        sched[i].push(rec.end_time.as_millis_f64());
+        sched[i].push(dead.end_time.as_millis_f64());
+        if i == 0 {
+            showcase = Some(rec.stats);
+        }
+    }
+    print_table(
+        "E19 (crash): scabd completion time under crash schedules (ms; node 3 at 40%)",
+        "schedule",
+        &["none".into(), "crash+recover".into(), "crash (dead)".into()],
+        &sched,
+    );
+    print_fault_table(
+        "E19 (crash): scabd sor crash+recover traffic and fault counters",
+        &showcase.unwrap(),
+    );
+
+    // --- The control: IVY's manager state dies with node 0 ---------
+    let at = SimTime(ivy_sor_span * 2 / 5);
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_sor(
+            ProtocolKind::IvyCentral,
+            FaultPlan::NONE.with_crash(0, at, None),
+        )
+    }));
+    std::panic::set_hook(hook);
+    assert!(
+        outcome.is_err(),
+        "E19: ivy-central survived its manager's permanent death — expected a watchdog verdict"
+    );
+    println!(
+        "E19 (crash): ivy-central with node 0 (the manager) dead at 40%: \
+         stalled — flagged by the deadlock watchdog, as expected\n"
+    );
+}
+
+/// A one-off fault scenario from the command line (`run_all --crash ...
+/// --partition ...`, same specs as `dsmrun`): scabd SOR under the given
+/// schedule, printed as a fault table and recorded under `e19_crash`.
+pub fn custom_fault_run(
+    scale: Scale,
+    crashes: &[crate::cli::CrashSpec],
+    partitions: &[crate::cli::PartitionSpec],
+) {
+    let sor_p = sor::SorParams {
+        n: scale.pick(16, 32),
+        iters: scale.pick(2, 4),
+        omega: 1.25,
+    };
+    let plan = crate::cli::apply(FaultPlan::NONE, crashes, partitions);
+    let res = run_e19(
+        ProtocolKind::Scabd,
+        4,
+        sor_p.n * 8,
+        sor_p.heap_bytes(),
+        plan,
+        move |d| sor::run(d, &sor_p),
+    );
+    json::record_run("e19_crash", "scabd sor custom schedule", &res);
+    println!("custom schedule: completion time {}", res.end_time);
+    print_fault_table(
+        "custom fault schedule: scabd sor traffic and fault counters",
+        &res.stats,
+    );
 }

@@ -13,7 +13,7 @@ mod sync_and_vm;
 
 pub use ablation::{e13_nic_ablation, e14_lrc_lock_ablation};
 pub use batching::e17_batching;
-pub use faults::e16_faults;
+pub use faults::{custom_fault_run, e16_faults, e19_crash};
 pub use memory::{e05_false_sharing, e06_erc_vs_lrc, e09_diffs};
 pub use meta::e18_lrc_meta;
 pub use scaling::{
@@ -58,4 +58,5 @@ pub fn run_all(scale: Scale) {
     e16_faults(scale);
     e17_batching(scale);
     e18_lrc_meta(scale);
+    e19_crash(scale);
 }

@@ -5,6 +5,7 @@
 //! Criterion benches (`cargo bench`) cover the micro costs (diff
 //! machinery, real page faults, kernel throughput).
 
+pub mod cli;
 pub mod experiments;
 pub mod json;
 pub mod table;

@@ -67,6 +67,12 @@ pub fn print_fault_table(title: &str, stats: &dsm_net::NetStats) {
         stats.total_duplicated(),
         stats.total_retransmits()
     );
+    if stats.crashes + stats.recoveries + stats.crash_dropped + stats.partition_dropped > 0 {
+        println!(
+            "{:>14} crashes={} recoveries={} crash_dropped={} partition_dropped={}",
+            "FAULTS", stats.crashes, stats.recoveries, stats.crash_dropped, stats.partition_dropped
+        );
+    }
     println!();
 }
 

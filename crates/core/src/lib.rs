@@ -32,7 +32,10 @@ pub use node::{DsmNode, DsmOp, DsmReply, OpBuf, OpData};
 
 // Re-export the vocabulary types users need.
 pub use dsm_mem::{GlobalAddr, PageGeometry, PageId, Placement, SpaceLayout};
-pub use dsm_net::{CostModel, Dur, FaultPlan, NetStats, NodeId, RunResult, SimTime};
+pub use dsm_net::{
+    CostModel, CrashEvent, Dur, FaultNotice, FaultPlan, NetStats, NodeId, PartitionEvent,
+    RunResult, SimTime,
+};
 pub use dsm_proto::{EntryBinding, ProtoOpts, ProtocolKind};
 pub use dsm_sync::{BarrierId, BarrierKind, LockId, LockKind};
 

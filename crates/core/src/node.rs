@@ -8,7 +8,7 @@ use std::sync::Arc;
 use crate::lease::FrameCell;
 use crate::msg::CoreMsg;
 use dsm_mem::{FrameTable, GlobalAddr, PageId, SpaceLayout};
-use dsm_net::{Ctx, Dur, NodeBehavior, NodeId, OpOutcome};
+use dsm_net::{Ctx, Dur, FaultNotice, NodeBehavior, NodeId, OpOutcome};
 use dsm_proto::{BatchingIo, Piggy, ProtoEvent, ProtoIo, ProtoMsg, Protocol, WriteOutcome};
 use dsm_sync::{
     BarrierEngine, BarrierEvent, BarrierId, LockEngine, LockEvent, LockId, ReleaseAction, SyncIo,
@@ -147,12 +147,14 @@ enum Pending {
         faults: u32,
     },
     AsyncWrite {
+        addr: GlobalAddr,
+        data: OpData,
         faults: u32,
     },
     Acquire(LockId),
     ReleaseFlush(LockId),
     BarrierFlush(BarrierId),
-    BarrierWait(#[allow(dead_code)] BarrierId),
+    BarrierWait(BarrierId),
 }
 
 /// One DSM node: protocol + sync engines + local memory.
@@ -187,6 +189,10 @@ pub struct DsmNode {
     /// completes only once this drains, so writes and sync ops never
     /// start with faults outstanding.
     inflight: Vec<usize>,
+    /// The op that was parked when this node crashed, rebuilt for
+    /// re-submission at recovery. The frozen program still owns the
+    /// op's buffers, so the raw pointers inside stay valid.
+    resubmit: Option<DsmOp>,
 }
 
 /// Adapter giving the protocol and sync engines access to the kernel
@@ -207,6 +213,9 @@ impl ProtoIo for Io<'_, '_> {
     }
     fn model(&self) -> &dsm_net::CostModel {
         self.ctx.model()
+    }
+    fn suspected(&self, node: NodeId) -> bool {
+        self.ctx.suspected(node)
     }
 }
 
@@ -250,6 +259,7 @@ impl DsmNode {
             batch_depth,
             max_depth,
             inflight: Vec::new(),
+            resubmit: None,
         }
     }
 
@@ -626,7 +636,7 @@ impl DsmNode {
                             return;
                         }
                         WriteOutcome::Async => {
-                            self.pending = Pending::AsyncWrite { faults };
+                            self.pending = Pending::AsyncWrite { addr, data, faults };
                             return;
                         }
                     }
@@ -647,7 +657,7 @@ impl DsmNode {
                 }
                 ProtoEvent::WriteDone => {
                     match std::mem::replace(&mut self.pending, Pending::None) {
-                        Pending::AsyncWrite { faults } => {
+                        Pending::AsyncWrite { faults, .. } => {
                             let cost = Self::access_cost(ctx, 0)
                                 + self.install_cost(ctx) * faults.saturating_sub(1) as u64;
                             ctx.complete_op_after(DsmReply::Unit, cost);
@@ -810,6 +820,99 @@ impl NodeBehavior for DsmNode {
                 }
             }
         }
+    }
+
+    fn on_fault(&mut self, ctx: &mut Ctx<'_, Self>, notice: FaultNotice) {
+        match notice {
+            FaultNotice::Crashed => {
+                // The parked op (if any) survives the crash as a
+                // resubmittable op: the frozen program still owns its
+                // buffers, so the raw pointers stay valid until the
+                // re-drive after recovery. Everything else — frames,
+                // in-flight faults, protocol state — is volatile and
+                // dies here. Lock and barrier *service* state is
+                // modeled as surviving (a fault-tolerant sync service);
+                // what a crash destroys is the node's memory.
+                self.resubmit = match std::mem::replace(&mut self.pending, Pending::None) {
+                    Pending::None => None,
+                    Pending::Read {
+                        addr, buf, hint, ..
+                    } => Some(DsmOp::Read { addr, buf, hint }),
+                    Pending::Write { addr, data, .. } | Pending::AsyncWrite { addr, data, .. } => {
+                        Some(DsmOp::Write { addr, data })
+                    }
+                    Pending::Acquire(l) => Some(DsmOp::Acquire(l)),
+                    Pending::ReleaseFlush(l) => Some(DsmOp::Release(l)),
+                    Pending::BarrierFlush(id) | Pending::BarrierWait(id) => {
+                        Some(DsmOp::Barrier(id))
+                    }
+                };
+                self.faulted = false;
+                self.inflight.clear();
+                let mem = Self::mem(&self.frames);
+                let held: Vec<_> = mem.held_pages().collect();
+                for p in held {
+                    mem.evict(p);
+                }
+                self.proto.on_crash(mem);
+                self.barriers.crashed();
+            }
+            FaultNotice::Recovered => {
+                {
+                    let mut io = Io { ctx };
+                    self.proto.on_recover(&mut io, Self::mem(&self.frames));
+                }
+                if let Some(op) = self.resubmit.take() {
+                    match self.on_op(ctx, op) {
+                        OpOutcome::Done(r) => ctx.complete_op(r),
+                        OpOutcome::DoneAfter(r, d) => ctx.complete_op_after(r, d),
+                        OpOutcome::Blocked => {}
+                    }
+                }
+            }
+            FaultNotice::PeerDown { peer: p, permanent } => {
+                let mut events = Vec::new();
+                {
+                    let mut io = Io { ctx };
+                    self.barriers.set_down(&mut io, p, permanent, &mut events);
+                }
+                if self.handle_barrier_events(ctx, events) {
+                    match std::mem::replace(&mut self.pending, Pending::None) {
+                        Pending::BarrierWait(_) => ctx.complete_op(DsmReply::Unit),
+                        other => {
+                            panic!("{}: barrier released while pending {other:?}", self.me)
+                        }
+                    }
+                }
+                let mut pevents = Vec::new();
+                {
+                    let mut io = Io { ctx };
+                    self.proto
+                        .on_peer_down(&mut io, Self::mem(&self.frames), p, &mut pevents);
+                }
+                self.pump_proto_events(ctx, pevents);
+            }
+            FaultNotice::PeerUp(p) => {
+                {
+                    let mut io = Io { ctx };
+                    self.barriers.set_up(&mut io, p);
+                }
+                let mut pevents = Vec::new();
+                {
+                    let mut io = Io { ctx };
+                    self.proto
+                        .on_peer_up(&mut io, Self::mem(&self.frames), p, &mut pevents);
+                }
+                self.pump_proto_events(ctx, pevents);
+            }
+        }
+    }
+
+    fn crashed_reply(&self) -> Option<DsmReply> {
+        // A permanently dead node's program runs on as a zombie: every
+        // op completes immediately and consumes no virtual time, so the
+        // fleet's completion time excludes it.
+        Some(DsmReply::Unit)
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: CoreMsg) {

@@ -35,7 +35,10 @@ use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 
-use crate::kernel::{Ctx, Event, InTransit, Kernel, NodeBehavior, OpOutcome, Partition};
+use crate::kernel::{
+    Ctx, Event, FaultChange, FaultNotice, InTransit, Kernel, NetPort, NodeBehavior, OpOutcome,
+    Partition,
+};
 use crate::model::CostModel;
 use crate::msg::NodeId;
 use crate::stats::NetStats;
@@ -785,6 +788,12 @@ fn run_shard<N: NodeBehavior>(
             }
             match event {
                 Event::Deliver { src, dst, msg } => {
+                    if kernel.node_down(dst) {
+                        // The destination's volatile state is gone: the
+                        // frame dies at the dead host's NIC.
+                        kernel.note_crash_dropped();
+                        continue;
+                    }
                     let mut ctx = Ctx {
                         port: &mut kernel,
                         node: dst,
@@ -792,18 +801,71 @@ fn run_shard<N: NodeBehavior>(
                     nodes[(dst.0 - lo) as usize].on_message(&mut ctx, src, msg);
                 }
                 Event::Timer { node, token } => {
+                    if kernel.node_down(node) {
+                        kernel.note_crash_dropped();
+                        continue;
+                    }
                     let mut ctx = Ctx {
                         port: &mut kernel,
                         node,
                     };
                     nodes[(node.0 - lo) as usize].on_timer(&mut ctx, token);
                 }
+                Event::Fault { node, change } => {
+                    kernel.apply_fault(node, change);
+                    let i = (node.0 - lo) as usize;
+                    let notice = match change {
+                        FaultChange::SelfCrash { .. } => FaultNotice::Crashed,
+                        FaultChange::SelfRecover => FaultNotice::Recovered,
+                        FaultChange::PeerDown { peer, permanent } => {
+                            FaultNotice::PeerDown { peer, permanent }
+                        }
+                        FaultChange::PeerUp(p) => FaultNotice::PeerUp(p),
+                    };
+                    {
+                        let mut ctx = Ctx {
+                            port: &mut kernel,
+                            node,
+                        };
+                        nodes[i].on_fault(&mut ctx, notice);
+                    }
+                    match change {
+                        // No recovery is coming: a program parked on an
+                        // op would wedge the whole run, so resume it as
+                        // a zombie that runs out of script at the crash
+                        // instant (see the Resume arm).
+                        FaultChange::SelfCrash { permanent: true }
+                            if kernel.op_awaiting_reply(node) =>
+                        {
+                            let r = nodes[i].crashed_reply().unwrap_or_else(|| {
+                                panic!(
+                                    "{node} crashed permanently while parked on an op, \
+                                     but its behavior provides no crashed_reply"
+                                )
+                            });
+                            kernel.complete_op_after(node, r, Dur::ZERO);
+                        }
+                        // Re-grant the floor the crash swallowed.
+                        FaultChange::SelfRecover if kernel.take_resume_dropped(node) => {
+                            kernel.schedule(t, Event::Resume { node });
+                        }
+                        _ => {}
+                    }
+                }
                 Event::Resume { node } => {
+                    if kernel.node_down(node) && !kernel.node_dead(node) {
+                        // Frozen across a crash window: the program
+                        // keeps its stack but loses the floor until
+                        // recovery re-grants it.
+                        kernel.note_resume_dropped(node);
+                        continue;
+                    }
                     last_progress = t;
                     let i = (node.0 - lo) as usize;
                     if kernel.app[i].finished {
                         continue;
                     }
+                    let dead = kernel.node_dead(node);
                     let mut reply = kernel.app[i].pending_reply.take();
                     let mut next_op = pending_ops[i].take();
                     // Inner loop: keep the program running while its
@@ -823,7 +885,10 @@ fn run_shard<N: NodeBehavior>(
                                     .expect("program thread died");
                                 match yield_rxs[i].recv().expect("program thread died") {
                                     AppYield::Op { op, elapsed } => {
-                                        if elapsed == Dur::ZERO {
+                                        // Zombies pay no virtual time:
+                                        // the node's timeline ends at
+                                        // the crash.
+                                        if elapsed == Dur::ZERO || dead {
                                             op
                                         } else {
                                             // Charge the run-ahead first;
@@ -836,19 +901,35 @@ fn run_shard<N: NodeBehavior>(
                                         }
                                     }
                                     AppYield::Advance(d) => {
-                                        let at = kernel.now() + d;
+                                        let at = if dead { kernel.now() } else { kernel.now() + d };
                                         kernel.schedule(at, Event::Resume { node });
                                         break;
                                     }
                                     AppYield::Finished { elapsed } => {
                                         kernel.app[i].finished = true;
-                                        kernel.app[i].finish_time = kernel.now() + elapsed;
+                                        kernel.app[i].finish_time = if dead {
+                                            kernel.now()
+                                        } else {
+                                            kernel.now() + elapsed
+                                        };
                                         unfinished -= 1;
                                         break;
                                     }
                                 }
                             }
                         };
+                        if dead {
+                            // Ops from a zombie never reach the
+                            // behavior: complete immediately with the
+                            // canned crash reply.
+                            reply = Some(nodes[i].crashed_reply().unwrap_or_else(|| {
+                                panic!(
+                                    "{node} crashed permanently but its behavior \
+                                     provides no crashed_reply"
+                                )
+                            }));
+                            continue;
+                        }
                         kernel.app[i].in_op = true;
                         let outcome = {
                             let mut ctx = Ctx {

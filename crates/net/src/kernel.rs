@@ -38,6 +38,40 @@ use crate::rng::XorShift64;
 use crate::stats::{KindId, NetStats};
 use crate::time::{Dur, SimTime};
 
+/// Crash/partition lifecycle notification delivered to a
+/// [`NodeBehavior`] via [`NodeBehavior::on_fault`]. `Crashed` and
+/// `Recovered` concern the node itself; `PeerDown`/`PeerUp` are
+/// asynchronous notices (delivered one network delay after the fact)
+/// that another node's fate changed — the simulator's stand-in for a
+/// perfect failure detector, complementing the timeout-driven suspect
+/// lists of the reliable transport (which partitions exercise, since
+/// they generate no notices at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultNotice {
+    /// This node crashed: its volatile state is gone. The behavior must
+    /// discard protocol state; the kernel discards the node's pending
+    /// deliveries and timers for as long as it stays down.
+    Crashed,
+    /// This node restarted after a crash; rebuild from scratch.
+    Recovered,
+    /// Another node crashed. `permanent` is true when no recovery is
+    /// scheduled — the failure-detector oracle distinguishing a dead
+    /// peer (exclude it) from a rebooting one (wait for it).
+    PeerDown { peer: NodeId, permanent: bool },
+    /// A crashed node recovered.
+    PeerUp(NodeId),
+}
+
+/// Internal form of a scheduled fault transition (carried by
+/// [`Event::Fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultChange {
+    SelfCrash { permanent: bool },
+    SelfRecover,
+    PeerDown { peer: NodeId, permanent: bool },
+    PeerUp(NodeId),
+}
+
 /// Per-node protocol logic: a state machine driven by messages from
 /// other nodes and by synchronous operations from the local application
 /// program.
@@ -76,6 +110,25 @@ pub trait NodeBehavior: Send {
 
     /// A timer set via [`Ctx::set_timer`] fired.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, _token: u64) {}
+
+    /// A scheduled fault transition concerning this node fired (see
+    /// [`FaultNotice`]). For `Crashed` the kernel has already marked the
+    /// node down: deliveries, timers and program resumes addressed to it
+    /// will be discarded until recovery, so the hook must only shed
+    /// state, not communicate. For `Recovered` the node is live again
+    /// and may send.
+    fn on_fault(&mut self, _ctx: &mut Ctx<'_, Self>, _notice: FaultNotice) {}
+
+    /// Reply used to complete a parked op when this node crashes
+    /// *permanently* (no recovery scheduled): the program is resumed as
+    /// a zombie that runs out of script at the crash instant instead of
+    /// wedging the whole run on a node that will never answer. Behaviors
+    /// that support crash schedules must return `Some`; the default
+    /// `None` makes a permanent crash on an unsupporting behavior a
+    /// loud error.
+    fn crashed_reply(&self) -> Option<Self::Reply> {
+        None
+    }
 }
 
 /// Result of submitting an application op to the local protocol.
@@ -94,6 +147,7 @@ pub(crate) enum Event<M> {
     Deliver { src: NodeId, dst: NodeId, msg: M },
     Resume { node: NodeId },
     Timer { node: NodeId, token: u64 },
+    Fault { node: NodeId, change: FaultChange },
 }
 
 impl<M> Event<M> {
@@ -103,6 +157,7 @@ impl<M> Event<M> {
             Event::Deliver { dst, .. } => *dst,
             Event::Resume { node } => *node,
             Event::Timer { node, .. } => *node,
+            Event::Fault { node, .. } => *node,
         }
     }
 }
@@ -251,6 +306,12 @@ pub(crate) trait NetPort<M, R> {
     fn set_timer_on(&mut self, node: NodeId, delay: Dur, token: u64);
     fn account(&mut self, id: KindId, kind: &'static str, bytes: usize);
     fn note_retransmit(&mut self, id: KindId, kind: &'static str);
+    /// True if the transport's failure detector currently suspects
+    /// `node` (consecutive ack timeouts). The bare kernel has no
+    /// detector; the reliable transport overrides this.
+    fn is_suspect(&self, _node: NodeId) -> bool {
+        false
+    }
 }
 
 /// One shard of the kernel: event heap, clock, traffic stats and NIC /
@@ -289,6 +350,16 @@ pub struct Kernel<N: NodeBehavior + ?Sized> {
     spike_thr: u64,
     faults_on: bool,
     jitter_on: bool,
+    /// Per-owned-node crash state: `down[l]` while a node's volatile
+    /// state is gone (deliveries/timers discarded), `dead[l]` when the
+    /// crash is permanent (the program zombies out instead of waiting
+    /// for a recovery that will never come).
+    down: Vec<bool>,
+    dead: Vec<bool>,
+    /// A Resume event addressed to a down node was discarded; exactly
+    /// one replacement must be scheduled at recovery so the parked
+    /// program regains the floor.
+    resume_dropped: Vec<bool>,
     pub(crate) app: Vec<AppSlot<N::Reply>>,
     nnodes: u32,
     /// Events processed across *all* shards (shared counter): the
@@ -356,7 +427,11 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
         } else {
             0
         };
-        let faults_on = model.faults.enabled();
+        // Only *randomized* faults (drop/dup/spike) allocate PRNG
+        // streams: a plan carrying nothing but crash/partition
+        // schedules draws zero randomness, so adding a schedule can
+        // never perturb the PRNG sequence of an existing lossy run.
+        let faults_on = model.faults.randomized();
         let jitter_on = model.jitter_max > Dur::ZERO;
         let jitter_rng = if jitter_on {
             (0..owned as u32)
@@ -374,7 +449,7 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
         } else {
             Vec::new()
         };
-        Kernel {
+        let mut kernel = Kernel {
             part,
             shard,
             lo,
@@ -392,6 +467,9 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
             spike_thr,
             faults_on,
             jitter_on,
+            down: vec![false; owned],
+            dead: vec![false; owned],
+            resume_dropped: vec![false; owned],
             app: (0..owned).map(|_| AppSlot::default()).collect(),
             nnodes,
             events,
@@ -402,7 +480,70 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
             local_quantum: MAX_LOCAL_QUANTUM,
             rendezvous: 0,
             outgoing: (0..part.workers()).map(|_| Vec::new()).collect(),
+        };
+        // Pre-schedule the crash/recovery timeline for the nodes this
+        // shard owns. The schedule is explicit time-keyed data — no
+        // randomness — and the per-node scheduling order (crash-list
+        // order) is a pure function of the plan, so the heap tiebreak
+        // sequence numbers these events receive are identical for every
+        // partition. The crashing node learns of its own transition at
+        // the instant it happens; every other node gets a PeerDown /
+        // PeerUp notice one minimum network delay later (the earliest a
+        // perfect failure detector could know).
+        let notice_delay = kernel.model.min_net_delay();
+        let crashes = kernel.model.faults.crashes.clone();
+        for c in &crashes {
+            assert!(
+                c.node < nnodes,
+                "crash schedule names node {} but the run has {} nodes",
+                c.node,
+                nnodes
+            );
+            for n in range.clone() {
+                let node = NodeId(n);
+                if n == c.node {
+                    kernel.schedule(
+                        c.at,
+                        Event::Fault {
+                            node,
+                            change: FaultChange::SelfCrash {
+                                permanent: c.recover.is_none(),
+                            },
+                        },
+                    );
+                    if let Some(r) = c.recover {
+                        kernel.schedule(
+                            r,
+                            Event::Fault {
+                                node,
+                                change: FaultChange::SelfRecover,
+                            },
+                        );
+                    }
+                } else {
+                    kernel.schedule(
+                        c.at + notice_delay,
+                        Event::Fault {
+                            node,
+                            change: FaultChange::PeerDown {
+                                peer: NodeId(c.node),
+                                permanent: c.recover.is_none(),
+                            },
+                        },
+                    );
+                    if let Some(r) = c.recover {
+                        kernel.schedule(
+                            r + notice_delay,
+                            Event::Fault {
+                                node,
+                                change: FaultChange::PeerUp(NodeId(c.node)),
+                            },
+                        );
+                    }
+                }
+            }
         }
+        kernel
     }
 
     /// First global node id owned by this shard.
@@ -458,6 +599,7 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
                 Event::Deliver { src, dst, .. } => format!("Deliver {src}→{dst}"),
                 Event::Resume { node } => format!("Resume {node}"),
                 Event::Timer { node, token } => format!("Timer {node} token={token:#x}"),
+                Event::Fault { node, change } => format!("Fault {node} {change:?}"),
             };
             format!("{what} at t={}", e.time)
         })
@@ -467,7 +609,9 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
     /// diagnostics.
     pub(crate) fn app_state(&self, local: usize) -> &'static str {
         let s = &self.app[local];
-        if s.finished {
+        if self.down[local] {
+            "down"
+        } else if s.finished {
             "finished"
         } else if s.pending_reply.is_some() {
             "resuming"
@@ -483,7 +627,12 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
         let node = event.node();
         let l = self.li(node);
         match &event {
-            Event::Deliver { .. } | Event::Timer { .. } => self.direct_min[l].push(Reverse(at)),
+            // Fault events join the direct-event mirror so the lease
+            // budget handed to a program can never run past its own
+            // crash instant.
+            Event::Deliver { .. } | Event::Timer { .. } | Event::Fault { .. } => {
+                self.direct_min[l].push(Reverse(at))
+            }
             Event::Resume { .. } => {}
         }
         let seq = self.next_seq[l];
@@ -510,7 +659,7 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
         let Reverse(e) = self.heap.pop().expect("peeked above");
         self.events.fetch_add(1, Ordering::Relaxed);
         match &e.event {
-            Event::Deliver { .. } | Event::Timer { .. } => {
+            Event::Deliver { .. } | Event::Timer { .. } | Event::Fault { .. } => {
                 let li = self.li(e.event.node());
                 let popped = self.direct_min[li].pop();
                 debug_assert_eq!(popped, Some(Reverse(e.time)));
@@ -597,6 +746,69 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
             .collect()
     }
 
+    /// Apply a scheduled fault transition to this kernel's own state
+    /// (down/dead flags, counters). Called by the driver when an
+    /// [`Event::Fault`] pops, *before* the behavior's `on_fault` hook
+    /// for crashes (so the hook already sees a dead world) and before
+    /// it for recoveries too (so the hook may send again).
+    pub(crate) fn apply_fault(&mut self, node: NodeId, change: FaultChange) {
+        let l = self.li(node);
+        match change {
+            FaultChange::SelfCrash { permanent } => {
+                assert!(!self.down[l], "node {node} crashed while already down");
+                self.down[l] = true;
+                self.dead[l] = permanent;
+                self.stats.crashes += 1;
+            }
+            FaultChange::SelfRecover => {
+                assert!(
+                    self.down[l] && !self.dead[l],
+                    "recovery for {node} without a preceding recoverable crash"
+                );
+                self.down[l] = false;
+                self.stats.recoveries += 1;
+            }
+            FaultChange::PeerDown { .. } | FaultChange::PeerUp(_) => {}
+        }
+    }
+
+    /// True while `node` (owned by this shard) is crashed.
+    pub(crate) fn node_down(&self, node: NodeId) -> bool {
+        self.down[self.li(node)]
+    }
+
+    /// True if `node` (owned by this shard) crashed permanently.
+    pub(crate) fn node_dead(&self, node: NodeId) -> bool {
+        self.dead[self.li(node)]
+    }
+
+    /// Record that a delivery or timer addressed to a down node was
+    /// discarded.
+    pub(crate) fn note_crash_dropped(&mut self) {
+        self.stats.crash_dropped += 1;
+    }
+
+    /// Note that a Resume for a down (but recoverable) node was
+    /// discarded; [`Self::take_resume_dropped`] owes one replacement.
+    pub(crate) fn note_resume_dropped(&mut self, node: NodeId) {
+        let l = self.li(node);
+        self.resume_dropped[l] = true;
+    }
+
+    /// Consume the owed-Resume flag for `node` at recovery.
+    pub(crate) fn take_resume_dropped(&mut self, node: NodeId) -> bool {
+        let l = self.li(node);
+        std::mem::take(&mut self.resume_dropped[l])
+    }
+
+    /// True if `node`'s program is parked on an op that has not yet
+    /// been completed (used at a permanent crash to decide whether a
+    /// zombie reply is owed).
+    pub(crate) fn op_awaiting_reply(&self, node: NodeId) -> bool {
+        let slot = &self.app[self.li(node)];
+        slot.blocked && slot.pending_reply.is_none()
+    }
+
     /// One 53-bit fault draw (uniform in `[0, 2^53)`) on the (src, dst)
     /// link stream.
     fn fault_draw(&mut self, link: usize) -> u64 {
@@ -626,6 +838,22 @@ impl<N: NodeBehavior + ?Sized> Kernel<N> {
         // and per worker count. A dropped message still occupied the
         // sender's NIC above: the packet left the host and died on the
         // wire.
+        // Link partitions: a message crossing a cut dies on the wire
+        // (after occupying the sender's NIC), deterministically and
+        // without consuming any PRNG draw.
+        if src != dst && !self.model.faults.partitions.is_empty() {
+            let now = self.now;
+            if self
+                .model
+                .faults
+                .partitions
+                .iter()
+                .any(|p| p.cuts(src.0, dst.0, now))
+            {
+                self.stats.partition_dropped += 1;
+                return;
+            }
+        }
         if self.faults_on && src != dst {
             let link = self.link(src, dst);
             if self.fault_draw(link) < self.drop_thr {
@@ -791,6 +1019,14 @@ impl<'a, N: NodeBehavior + ?Sized> Ctx<'a, N> {
     /// anything (used to account for piggybacked payloads).
     pub fn account(&mut self, id: crate::stats::KindId, kind: &'static str, bytes: usize) {
         self.port.account(id, kind, bytes);
+    }
+
+    /// True if the transport's failure detector currently suspects
+    /// `node` of having failed (consecutive retransmission timeouts
+    /// with no ack — the only signal a silent partition leaves). Always
+    /// false on the raw kernel transport.
+    pub fn suspected(&self, node: NodeId) -> bool {
+        self.port.is_suspect(node)
     }
 }
 

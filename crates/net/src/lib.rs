@@ -64,8 +64,8 @@ mod stats;
 mod time;
 
 pub use driver::{AppHandle, RunResult, Sim, DEFAULT_STALL_WINDOW};
-pub use kernel::{Ctx, NodeBehavior, OpOutcome, MAX_LOCAL_QUANTUM};
-pub use model::{CostModel, FaultPlan};
+pub use kernel::{Ctx, FaultNotice, NodeBehavior, OpOutcome, MAX_LOCAL_QUANTUM};
+pub use model::{CostModel, CrashEvent, FaultPlan, PartitionEvent};
 pub use msg::{Envelope, NodeId, Payload};
 pub use reliable::{wrap_fleet, RelConfig, RelMsg, Reliable, REL_TIMER_BIT};
 pub use rng::XorShift64;

@@ -6,7 +6,47 @@
 //! exactly those terms, with presets spanning the 1992 LAN the tutorial
 //! assumed and a modern cluster interconnect.
 
-use crate::time::Dur;
+use crate::time::{Dur, SimTime};
+
+/// One scheduled node crash: the node's volatile state is discarded at
+/// virtual time `at`; with `recover` set the node restarts from its
+/// recovery hook at that later time, otherwise it stays dead for the
+/// rest of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashEvent {
+    /// The node that crashes.
+    pub node: u32,
+    /// Virtual time of the crash.
+    pub at: SimTime,
+    /// Virtual time of recovery, if any (must be `> at`).
+    pub recover: Option<SimTime>,
+}
+
+/// One scheduled link partition: messages between group `a` and group
+/// `b` are silently discarded while `from <= now < until`. Traffic
+/// within each group (and to/from nodes in neither group) is unaffected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionEvent {
+    /// Nodes on one side of the cut.
+    pub a: Vec<u32>,
+    /// Nodes on the other side.
+    pub b: Vec<u32>,
+    /// Partition start (inclusive).
+    pub from: SimTime,
+    /// Partition end (exclusive).
+    pub until: SimTime,
+}
+
+impl PartitionEvent {
+    /// True if the partition severs the `src → dst` link at time `now`.
+    pub fn cuts(&self, src: u32, dst: u32, now: SimTime) -> bool {
+        if now < self.from || now >= self.until {
+            return false;
+        }
+        (self.a.contains(&src) && self.b.contains(&dst))
+            || (self.b.contains(&src) && self.a.contains(&dst))
+    }
+}
 
 /// Deterministic network fault injection: per-message drop and
 /// duplication probabilities plus bounded delay spikes, all driven by
@@ -30,6 +70,12 @@ pub struct FaultPlan {
     pub spike_max: Dur,
     /// Seed for the fault PRNG (independent of the jitter PRNG).
     pub seed: u64,
+    /// Scheduled node crashes/recoveries. Explicit time-keyed data, not
+    /// PRNG draws: a plan whose only faults are schedules draws the
+    /// identical PRNG sequence as [`FaultPlan::NONE`].
+    pub crashes: Vec<CrashEvent>,
+    /// Scheduled link partitions, same determinism story as `crashes`.
+    pub partitions: Vec<PartitionEvent>,
 }
 
 impl FaultPlan {
@@ -40,6 +86,8 @@ impl FaultPlan {
         spike_prob: 0.0,
         spike_max: Dur::ZERO,
         seed: 1,
+        crashes: Vec::new(),
+        partitions: Vec::new(),
     };
 
     /// A lossy plan with the given drop and duplication probabilities
@@ -51,6 +99,8 @@ impl FaultPlan {
             spike_prob: 0.0,
             spike_max: Dur::ZERO,
             seed,
+            crashes: Vec::new(),
+            partitions: Vec::new(),
         }
     }
 
@@ -62,12 +112,55 @@ impl FaultPlan {
         self
     }
 
-    /// True if any fault can actually fire. When false the kernel's
-    /// delivery path is byte-identical to the no-fault code.
-    pub fn enabled(&self) -> bool {
+    /// Schedule a node crash at `at`, optionally recovering at
+    /// `recover`.
+    pub fn with_crash(mut self, node: u32, at: SimTime, recover: Option<SimTime>) -> Self {
+        if let Some(r) = recover {
+            assert!(r > at, "recovery must come after the crash");
+        }
+        self.crashes.push(CrashEvent { node, at, recover });
+        self
+    }
+
+    /// Schedule a link partition between node groups `a` and `b` during
+    /// `[from, until)`.
+    pub fn with_partition(
+        mut self,
+        a: Vec<u32>,
+        b: Vec<u32>,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(until > from, "partition must have positive duration");
+        assert!(
+            a.iter().all(|n| !b.contains(n)),
+            "partition groups must be disjoint"
+        );
+        self.partitions.push(PartitionEvent { a, b, from, until });
+        self
+    }
+
+    /// True if any *randomized* fault (drop/dup/spike) can fire — the
+    /// gate for allocating per-link fault PRNG streams. When false the
+    /// kernel draws no fault randomness, so plans carrying only
+    /// crash/partition schedules keep the PRNG sequence byte-identical
+    /// to the no-fault code.
+    pub fn randomized(&self) -> bool {
         self.drop_prob > 0.0
             || self.dup_prob > 0.0
             || (self.spike_prob > 0.0 && self.spike_max > Dur::ZERO)
+    }
+
+    /// True if any crash or partition is scheduled.
+    pub fn scheduled(&self) -> bool {
+        !self.crashes.is_empty() || !self.partitions.is_empty()
+    }
+
+    /// True if any fault can actually fire (randomized or scheduled).
+    /// When false the kernel's delivery path is byte-identical to the
+    /// no-fault code.
+    pub fn enabled(&self) -> bool {
+        self.randomized() || self.scheduled()
     }
 
     /// Convert a probability to a 53-bit integer threshold; a PRNG draw

@@ -14,17 +14,39 @@
 //!   that peer. A standalone [`RelMsg::Ack`] is sent only when
 //!   processing inbound data produced no reverse traffic to piggyback
 //!   on.
+//! * **Selective acknowledgement.** Both frame kinds carry a 64-bit
+//!   SACK bitmap of sequence numbers held in the reorder buffer beyond
+//!   the cumulative ack (bit k ⇔ `ack + 2 + k` received). The sender
+//!   marks those frames and skips them when the retransmission timer
+//!   fires, so a single lost frame costs a single resend instead of a
+//!   full go-back-N window.
 //! * **Receiver-side dedup and reordering.** Frames at or below the
 //!   delivered watermark are discarded (and re-acked, since the peer is
 //!   evidently retransmitting); frames beyond the next expected number
 //!   wait in a reorder buffer. The inner behavior therefore sees each
 //!   message exactly once, in send order per link — the delivery
 //!   guarantee the eight DSM protocols were written against.
-//! * **Retransmission timers with exponential backoff.** The sender
-//!   buffers unacked frames per link; a timer (via the ordinary
-//!   [`Ctx::set_timer`] mechanism) resends the whole unacked window
-//!   go-back-N style and doubles the timeout, up to a cap. Progress is
-//!   guaranteed for any drop probability below 1.
+//! * **Adaptive retransmission timeout.** Each link keeps a
+//!   Jacobson-style smoothed RTT (`srtt ← 7/8·srtt + 1/8·sample`,
+//!   `rttvar ← 3/4·rttvar + 1/4·|dev|`) measured from ack round-trips,
+//!   with Karn's rule (no samples from retransmitted frames). The RTO
+//!   is `srtt + 4·rttvar`, seeded from the cost-model guess before the
+//!   first sample and doubled per retry up to a cap.
+//! * **Stream epochs.** Each link direction carries an epoch number,
+//!   bumped whenever the sender restarts the stream (its own crash
+//!   recovery, or a `PeerUp` notice for the receiver). Frames and acks
+//!   from a dead epoch are discarded, so stragglers delayed across a
+//!   crash can never pollute the reborn stream.
+//! * **Failure detection.** Consecutive retransmission timeouts with no
+//!   ack put the peer on a *suspect list* (the only signal a silent
+//!   link partition leaves); any frame from the peer clears it. Wrapped
+//!   protocols read the list through [`Ctx::suspected`] and can report
+//!   a detected failure instead of wedging the run's watchdog. Crashes
+//!   additionally produce deterministic kernel `PeerDown`/`PeerUp`
+//!   notices (see [`crate::kernel::FaultNotice`]), on which the
+//!   transport drops retransmission state for the dead peer — a crashed
+//!   node is not coming back for this epoch, and resending into the
+//!   void forever would turn every crash into a livelock.
 //!
 //! Everything runs inside the deterministic event kernel, so a faulty
 //! run is bit-reproducible per seed, and with [`FaultPlan`] disabled the
@@ -36,17 +58,26 @@
 //! by the owner's shard heap like any other event — so only real
 //! frames ever cross a shard boundary, and every frame pays at least
 //! the cost model's `min_net_delay`, which is exactly the bound the
-//! window is derived from. Go-back-N retransmission therefore needs no
+//! window is derived from. Retransmission therefore needs no
 //! special-casing in the window protocol, and worker count stays
 //! unobservable under loss (`tests/faulty_determinism.rs`).
+//!
+//! Delivery guarantees under *crash* faults are necessarily weaker:
+//! a crash deliberately loses volatile state, so frames buffered at or
+//! addressed to the crashed node are gone, and after a recovery both
+//! directions of every adjacent link restart from sequence 1 in a new
+//! epoch. Protocols that must survive crashes (see
+//! `dsm-proto`'s `scabd`) are written against that weaker contract;
+//! partitions, by contrast, lose no state — the retransmission machinery
+//! rides them out transparently.
 //!
 //! Timer tokens: the transport reserves tokens with bit 63 set
 //! ([`REL_TIMER_BIT`]); wrapped behaviors must keep that bit clear
 //! (checked with a debug assertion).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use crate::kernel::{Ctx, NetPort, NodeBehavior, OpOutcome};
+use crate::kernel::{Ctx, FaultNotice, NetPort, NodeBehavior, OpOutcome};
 use crate::model::CostModel;
 use crate::msg::{NodeId, Payload};
 use crate::stats::KindId;
@@ -57,27 +88,47 @@ use crate::time::{Dur, SimTime};
 pub const REL_TIMER_BIT: u64 = 1 << 63;
 
 /// Modeled bytes of transport framing added to each `Data` frame
-/// (sequence number + cumulative ack).
-const REL_HEADER_BYTES: usize = 16;
+/// (sequence number + cumulative ack + SACK bitmap + epoch pair).
+const REL_HEADER_BYTES: usize = 32;
+
+/// Modeled bytes of a standalone ack (cumulative ack + SACK bitmap +
+/// epoch).
+const ACK_BYTES: usize = 24;
 
 /// Statistics slot for standalone acks (transport range 48–55).
 const ACK_KIND: KindId = KindId(48);
 
+/// Lower clamp for the adaptive RTO: below this, scheduling granularity
+/// and piggyback timing dominate and spurious retransmits climb without
+/// buying latency.
+const RTO_FLOOR: Dur = Dur::micros(50);
+
 /// Transport frame wrapping an inner payload `M`.
 #[derive(Debug, Clone)]
 pub enum RelMsg<M> {
-    /// A sequenced inner message plus a piggybacked cumulative ack.
-    /// `seq == 0` marks unsequenced node-local loopback.
-    Data { seq: u64, ack: u64, payload: M },
-    /// Standalone cumulative ack (nothing to piggyback on).
-    Ack { ack: u64 },
+    /// A sequenced inner message plus a piggybacked cumulative ack and
+    /// SACK bitmap. `seq == 0` marks unsequenced node-local loopback.
+    /// `epoch` is the sender's stream epoch for this link direction;
+    /// `ack_epoch` is the epoch of the peer's stream the piggybacked
+    /// ack refers to.
+    Data {
+        seq: u64,
+        ack: u64,
+        sack: u64,
+        epoch: u32,
+        ack_epoch: u32,
+        payload: M,
+    },
+    /// Standalone cumulative ack + SACK bitmap (nothing to piggyback
+    /// on). `ack_epoch` is the epoch of the stream being acked.
+    Ack { ack: u64, sack: u64, ack_epoch: u32 },
 }
 
 impl<M: Payload> Payload for RelMsg<M> {
     fn wire_bytes(&self) -> usize {
         match self {
             RelMsg::Data { payload, .. } => payload.wire_bytes() + REL_HEADER_BYTES,
-            RelMsg::Ack { .. } => 8,
+            RelMsg::Ack { .. } => ACK_BYTES,
         }
     }
 
@@ -102,10 +153,13 @@ impl<M: Payload> Payload for RelMsg<M> {
 /// Retransmission timing knobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RelConfig {
-    /// First retransmission timeout after an unacked send.
+    /// Retransmission timeout before the first RTT sample lands.
     pub rto_initial: Dur,
     /// Backoff cap: the timeout doubles per retry up to this value.
     pub rto_max: Dur,
+    /// Consecutive retransmission timeouts on a link before the peer
+    /// joins the suspect list.
+    pub suspect_after: u32,
 }
 
 impl RelConfig {
@@ -113,7 +167,8 @@ impl RelConfig {
     /// page-sized hops plus a queueing allowance proportional to the
     /// node count (a barrier storm serializes through one receiver).
     /// Spurious retransmits only waste messages — dedup keeps them
-    /// harmless — so the estimate need not be tight.
+    /// harmless — so the estimate need not be tight; the per-link EWMA
+    /// replaces it as soon as acks flow.
     pub fn from_model(model: &CostModel, nnodes: u32) -> Self {
         let per_hop = model.delivery_delay(4096);
         let queueing = (model.send_overhead + model.recv_overhead) * nnodes as u64;
@@ -121,8 +176,23 @@ impl RelConfig {
         RelConfig {
             rto_initial,
             rto_max: rto_initial * 32,
+            suspect_after: 3,
         }
     }
+}
+
+/// One buffered unacked frame on the retransmit queue.
+struct Frame<M> {
+    seq: u64,
+    msg: M,
+    /// Virtual time of the *original* transmission (RTT sampling).
+    sent: SimTime,
+    /// Retransmitted at least once: Karn's rule excludes it from RTT
+    /// sampling.
+    rexmit: bool,
+    /// Selectively acknowledged: the receiver holds it in its reorder
+    /// buffer, so timer-driven resends skip it.
+    sacked: bool,
 }
 
 /// Per-peer link state (one per remote node, both directions).
@@ -135,7 +205,7 @@ struct LinkState<M> {
     /// Highest cumulative ack received from the peer.
     acked: u64,
     /// Sent but unacked frames, ascending seq (the retransmit queue).
-    outstanding: VecDeque<(u64, M)>,
+    outstanding: VecDeque<Frame<M>>,
     /// Received ahead of order: seq → payload, seq > delivered + 1.
     reorder: BTreeMap<u64, M>,
     /// A retransmit timer event is in flight for this link.
@@ -145,8 +215,20 @@ struct LinkState<M> {
     /// forward; a timer firing earlier simply re-arms — it was set for
     /// a frame that has since been acked.
     deadline: SimTime,
-    /// Current retransmission timeout (exponential backoff).
+    /// Current retransmission timeout (adaptive; exponential backoff
+    /// between acks).
     rto: Dur,
+    /// Jacobson estimator state in nanoseconds: (srtt, rttvar), absent
+    /// until the first valid sample.
+    rtt: Option<(u64, u64)>,
+    /// Consecutive timer-driven retransmissions with no intervening
+    /// ack — the failure-detector counter.
+    timeouts: u32,
+    /// Epoch of our send stream on this link; bumped on every stream
+    /// restart so stale frames and acks are recognizable.
+    epoch: u32,
+    /// Highest epoch observed on the peer's send stream.
+    peer_epoch: u32,
 }
 
 impl<M> LinkState<M> {
@@ -160,7 +242,41 @@ impl<M> LinkState<M> {
             timer_armed: false,
             deadline: SimTime::ZERO,
             rto,
+            rtt: None,
+            timeouts: 0,
+            epoch: 0,
+            peer_epoch: 0,
         }
+    }
+
+    /// Restart both directions of the stream, preserving epochs;
+    /// `bump_epoch` additionally retires our send epoch so frames and
+    /// acks referring to the old stream are discarded everywhere.
+    fn reset(&mut self, rto0: Dur, bump_epoch: bool) {
+        let epoch = self.epoch + bump_epoch as u32;
+        let peer_epoch = self.peer_epoch;
+        *self = LinkState::new(rto0);
+        self.epoch = epoch;
+        self.peer_epoch = peer_epoch;
+    }
+
+    /// SACK bitmap to advertise: bit k set ⇔ seq `delivered + 2 + k` is
+    /// held in the reorder buffer (`delivered + 1` is by definition the
+    /// missing one).
+    fn sack_bitmap(&self) -> u64 {
+        let base = self.delivered + 2;
+        let mut bm = 0u64;
+        for &s in self.reorder.keys() {
+            if s < base {
+                continue;
+            }
+            let k = s - base;
+            if k >= 64 {
+                break;
+            }
+            bm |= 1 << k;
+        }
+        bm
     }
 }
 
@@ -172,6 +288,15 @@ pub struct Reliable<N: NodeBehavior> {
     inner: N,
     cfg: RelConfig,
     links: Vec<LinkState<N::Msg>>,
+    /// Peers currently suspected of having failed (consecutive ack
+    /// timeouts, or a kernel `PeerDown` notice). Surfaced to the
+    /// wrapped behavior through [`Ctx::suspected`].
+    suspects: BTreeSet<u32>,
+    /// Peers the kernel has *confirmed* crashed (`PeerDown`, not mere
+    /// silence). Frames to them are sent fire-and-forget — they cannot
+    /// be acked, and queuing them would retransmit into the void until
+    /// the end of the run.
+    down: BTreeSet<u32>,
 }
 
 impl<N: NodeBehavior> Reliable<N> {
@@ -180,7 +305,13 @@ impl<N: NodeBehavior> Reliable<N> {
         let links = (0..nnodes)
             .map(|_| LinkState::new(cfg.rto_initial))
             .collect();
-        Reliable { inner, cfg, links }
+        Reliable {
+            inner,
+            cfg,
+            links,
+            suspects: BTreeSet::new(),
+            down: BTreeSet::new(),
+        }
     }
 
     /// The wrapped behavior.
@@ -193,22 +324,66 @@ impl<N: NodeBehavior> Reliable<N> {
         &mut self.inner
     }
 
-    /// Apply a cumulative ack from `peer`: drop covered frames from the
-    /// retransmit queue and reset the backoff (the link is alive).
-    fn process_ack(&mut self, peer: NodeId, ack: u64, now: SimTime) {
-        let rto0 = self.cfg.rto_initial;
+    /// Smoothed RTT estimate for the link to `peer` in nanoseconds, if
+    /// at least one sample has landed (diagnostics / experiments).
+    pub fn srtt_nanos(&self, peer: NodeId) -> Option<u64> {
+        self.links[peer.index()].rtt.map(|(srtt, _)| srtt)
+    }
+
+    /// Apply a cumulative ack + SACK bitmap from `peer`. Acks for a
+    /// stale epoch of our stream are ignored wholesale; valid acks
+    /// clear the suspicion counter, advance the retransmit queue, and
+    /// feed the RTT estimator (Karn's rule: only never-retransmitted
+    /// frames produce samples).
+    fn process_ack(&mut self, peer: NodeId, ack: u64, sack: u64, ack_epoch: u32, now: SimTime) {
+        let rto_max = self.cfg.rto_max;
         let link = &mut self.links[peer.index()];
+        if ack_epoch != link.epoch {
+            return;
+        }
+        link.timeouts = 0;
+        self.suspects.remove(&peer.0);
+        // Selective marks relative to this cumulative ack: bit k covers
+        // seq `ack + 2 + k`.
+        if sack != 0 {
+            for f in link.outstanding.iter_mut() {
+                if f.seq >= ack + 2 && f.seq - ack - 2 < 64 && (sack >> (f.seq - ack - 2)) & 1 == 1
+                {
+                    f.sacked = true;
+                }
+            }
+        }
         if ack <= link.acked {
             return;
         }
         link.acked = ack;
-        while link.outstanding.front().is_some_and(|(s, _)| *s <= ack) {
-            link.outstanding.pop_front();
+        let mut sampled = false;
+        while link.outstanding.front().is_some_and(|f| f.seq <= ack) {
+            let f = link.outstanding.pop_front().expect("checked front");
+            if !f.rexmit {
+                // Jacobson/Karn EWMA in integer nanoseconds.
+                let sample = now.since(f.sent).0;
+                let (srtt, rttvar) = match link.rtt {
+                    None => (sample, sample / 2),
+                    Some((srtt, rttvar)) => {
+                        let dev = srtt.abs_diff(sample);
+                        ((7 * srtt + sample) / 8, (3 * rttvar + dev) / 4)
+                    }
+                };
+                link.rtt = Some((srtt, rttvar));
+                sampled = true;
+            }
         }
-        link.rto = rto0;
-        // Restart the timeout for whatever is still unacked: the link
-        // just proved itself alive.
-        link.deadline = now + rto0;
+        if sampled {
+            let (srtt, rttvar) = link.rtt.expect("sampled above");
+            link.rto = Dur::nanos(srtt + 4 * rttvar).max(RTO_FLOOR).min(rto_max);
+        } else {
+            // No fresh sample, but the link proved itself alive: undo
+            // the exponential backoff.
+            link.rto = link.rto.max(RTO_FLOOR).min(rto_max);
+        }
+        // Restart the timeout for whatever is still unacked.
+        link.deadline = now + link.rto;
     }
 }
 
@@ -218,10 +393,18 @@ impl<N: NodeBehavior> NodeBehavior for Reliable<N> {
     type Reply = N::Reply;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
-        let Reliable { inner, links, .. } = self;
+        let Reliable {
+            inner,
+            links,
+            suspects,
+            down,
+            ..
+        } = self;
         let mut port: RelPort<'_, N> = RelPort {
             outer: ctx.port,
             links,
+            suspects,
+            down,
             me: ctx.node,
             watch: None,
             watched_ack: None,
@@ -247,11 +430,16 @@ impl<N: NodeBehavior> NodeBehavior for Reliable<N> {
         } else {
             inner.as_str()
         };
-        if pending.is_empty() {
+        let mut out = if pending.is_empty() {
             format!("{inner} | rexmit-q empty")
         } else {
             format!("{inner} | rexmit-q [{}]", pending.join(" "))
+        };
+        if !self.suspects.is_empty() {
+            let s: Vec<String> = self.suspects.iter().map(|p| format!("n{p}")).collect();
+            out.push_str(&format!(" | suspects [{}]", s.join(" ")));
         }
+        out
     }
 
     fn gauges(&self) -> Vec<(&'static str, u64)> {
@@ -260,16 +448,33 @@ impl<N: NodeBehavior> NodeBehavior for Reliable<N> {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Self::Msg) {
         let me = ctx.node;
+        if from != me {
+            // Any frame from the peer is proof of life.
+            self.links[from.index()].timeouts = 0;
+            self.suspects.remove(&from.0);
+        }
         match msg {
-            RelMsg::Ack { ack } => self.process_ack(from, ack, ctx.now()),
+            RelMsg::Ack {
+                ack,
+                sack,
+                ack_epoch,
+            } => self.process_ack(from, ack, sack, ack_epoch, ctx.now()),
             RelMsg::Data {
                 seq: 0, payload, ..
             } => {
                 // Unsequenced loopback: never crossed the lossy wire.
-                let Reliable { inner, links, .. } = self;
+                let Reliable {
+                    inner,
+                    links,
+                    suspects,
+                    down,
+                    ..
+                } = self;
                 let mut port: RelPort<'_, N> = RelPort {
                     outer: ctx.port,
                     links,
+                    suspects,
+                    down,
                     me,
                     watch: None,
                     watched_ack: None,
@@ -280,12 +485,45 @@ impl<N: NodeBehavior> NodeBehavior for Reliable<N> {
                 };
                 inner.on_message(&mut ictx, from, payload);
             }
-            RelMsg::Data { seq, ack, payload } => {
-                self.process_ack(from, ack, ctx.now());
-                let Reliable { inner, links, .. } = self;
+            RelMsg::Data {
+                seq,
+                ack,
+                sack,
+                epoch,
+                ack_epoch,
+                payload,
+            } => {
+                let now = ctx.now();
+                {
+                    let link = &mut self.links[from.index()];
+                    if epoch < link.peer_epoch {
+                        // Straggler from a dead epoch of the peer's
+                        // stream (delayed across its crash): discard.
+                        return;
+                    }
+                    if epoch > link.peer_epoch {
+                        // The peer restarted its stream: our receive
+                        // watermark and reorder buffer refer to the old
+                        // epoch. Restart the receive side; our own send
+                        // epoch is untouched.
+                        link.delivered = 0;
+                        link.reorder.clear();
+                        link.peer_epoch = epoch;
+                    }
+                }
+                self.process_ack(from, ack, sack, ack_epoch, now);
+                let Reliable {
+                    inner,
+                    links,
+                    suspects,
+                    down,
+                    ..
+                } = self;
                 let mut port: RelPort<'_, N> = RelPort {
                     outer: ctx.port,
                     links,
+                    suspects,
+                    down,
                     me,
                     // Watch reverse traffic to `from`: if the handler
                     // sends data back, its piggybacked ack makes a
@@ -300,8 +538,18 @@ impl<N: NodeBehavior> NodeBehavior for Reliable<N> {
                         // lost ack): discard, but re-ack so the sender
                         // can stop retransmitting.
                         let ackv = link.delivered;
-                        port.outer
-                            .send_from(me, from, RelMsg::Ack { ack: ackv }, Dur::ZERO);
+                        let sackv = link.sack_bitmap();
+                        let ack_epoch = link.peer_epoch;
+                        port.outer.send_from(
+                            me,
+                            from,
+                            RelMsg::Ack {
+                                ack: ackv,
+                                sack: sackv,
+                                ack_epoch,
+                            },
+                            Dur::ZERO,
+                        );
                         return;
                     }
                     link.reorder.insert(seq, payload);
@@ -327,20 +575,39 @@ impl<N: NodeBehavior> NodeBehavior for Reliable<N> {
                     };
                     inner.on_message(&mut ictx, from, p);
                 }
-                let delivered = port.links[from.index()].delivered;
+                let link = &port.links[from.index()];
+                let delivered = link.delivered;
                 if port.watched_ack != Some(delivered) {
-                    port.outer
-                        .send_from(me, from, RelMsg::Ack { ack: delivered }, Dur::ZERO);
+                    let sackv = link.sack_bitmap();
+                    let ack_epoch = link.peer_epoch;
+                    port.outer.send_from(
+                        me,
+                        from,
+                        RelMsg::Ack {
+                            ack: delivered,
+                            sack: sackv,
+                            ack_epoch,
+                        },
+                        Dur::ZERO,
+                    );
                 }
             }
         }
     }
 
     fn on_op(&mut self, ctx: &mut Ctx<'_, Self>, op: Self::Op) -> OpOutcome<Self::Reply> {
-        let Reliable { inner, links, .. } = self;
+        let Reliable {
+            inner,
+            links,
+            suspects,
+            down,
+            ..
+        } = self;
         let mut port: RelPort<'_, N> = RelPort {
             outer: ctx.port,
             links,
+            suspects,
+            down,
             me: ctx.node,
             watch: None,
             watched_ack: None,
@@ -354,10 +621,18 @@ impl<N: NodeBehavior> NodeBehavior for Reliable<N> {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, token: u64) {
         if token & REL_TIMER_BIT == 0 {
-            let Reliable { inner, links, .. } = self;
+            let Reliable {
+                inner,
+                links,
+                suspects,
+                down,
+                ..
+            } = self;
             let mut port: RelPort<'_, N> = RelPort {
                 outer: ctx.port,
                 links,
+                suspects,
+                down,
                 me: ctx.node,
                 watch: None,
                 watched_ack: None,
@@ -373,6 +648,7 @@ impl<N: NodeBehavior> NodeBehavior for Reliable<N> {
         let peer = (token & !REL_TIMER_BIT) as usize;
         let now = ctx.now();
         let rto_max = self.cfg.rto_max;
+        let suspect_after = self.cfg.suspect_after;
         let link = &mut self.links[peer];
         link.timer_armed = false;
         if link.outstanding.is_empty() {
@@ -389,18 +665,31 @@ impl<N: NodeBehavior> NodeBehavior for Reliable<N> {
             ctx.port.set_timer_on(me, wait, token);
             return;
         }
-        // Go-back-N: resend the whole unacked window with a fresh
-        // piggybacked ack, then back off and re-arm.
+        // Selective retransmit: resend only the unacked frames the
+        // receiver has not SACKed, with a fresh piggybacked ack, then
+        // back off and re-arm. Karn's rule: mark them so their acks
+        // produce no RTT samples.
         let ackv = link.delivered;
-        let frames: Vec<(u64, N::Msg)> = link
-            .outstanding
-            .iter()
-            .map(|(s, m)| (*s, m.clone()))
-            .collect();
+        let sackv = link.sack_bitmap();
+        let ack_epoch = link.peer_epoch;
+        let epoch = link.epoch;
+        let mut frames: Vec<(u64, N::Msg)> = Vec::new();
+        for f in link.outstanding.iter_mut() {
+            if !f.sacked {
+                f.rexmit = true;
+                frames.push((f.seq, f.msg.clone()));
+            }
+        }
         let rto = std::cmp::min(link.rto * 2, rto_max);
         link.rto = rto;
         link.deadline = now + rto;
         link.timer_armed = true;
+        link.timeouts += 1;
+        if link.timeouts >= suspect_after {
+            // Repeated silence: a perfect network would have acked by
+            // now. Either the peer is dead or the link is cut.
+            self.suspects.insert(peer as u32);
+        }
         for (seq, payload) in frames {
             ctx.port.note_retransmit(payload.kind_id(), payload.kind());
             ctx.port.send_from(
@@ -409,12 +698,85 @@ impl<N: NodeBehavior> NodeBehavior for Reliable<N> {
                 RelMsg::Data {
                     seq,
                     ack: ackv,
+                    sack: sackv,
+                    epoch,
+                    ack_epoch,
                     payload,
                 },
                 Dur::ZERO,
             );
         }
         ctx.port.set_timer_on(me, rto, token);
+    }
+
+    fn on_fault(&mut self, ctx: &mut Ctx<'_, Self>, notice: FaultNotice) {
+        let rto0 = self.cfg.rto_initial;
+        match notice {
+            FaultNotice::Crashed => {
+                // Volatile transport state dies with the node. Epochs
+                // survive (a boot counter on stable storage); the bump
+                // happens at recovery.
+                for link in &mut self.links {
+                    link.reset(rto0, false);
+                }
+                self.suspects.clear();
+                self.down.clear();
+            }
+            FaultNotice::Recovered => {
+                // Fresh streams in a fresh epoch: anything the old
+                // incarnation sent or was owed is void.
+                for link in &mut self.links {
+                    link.reset(rto0, true);
+                }
+                self.suspects.clear();
+            }
+            FaultNotice::PeerDown { peer: p, .. } => {
+                // Stop retransmitting into the void — with the peer's
+                // volatile state gone, go-back-N can never complete and
+                // would keep every crash run alive forever. The inner
+                // protocol sees the peer on the suspect list and must
+                // handle the loss at its own level.
+                let link = &mut self.links[p.index()];
+                link.outstanding.clear();
+                link.reorder.clear();
+                link.timeouts = 0;
+                self.suspects.insert(p.0);
+                self.down.insert(p.0);
+            }
+            FaultNotice::PeerUp(p) => {
+                // The peer rebooted: restart our send stream to it in a
+                // new epoch (our old frames/acks are stale to it, and
+                // vice versa).
+                self.links[p.index()].reset(rto0, true);
+                self.suspects.remove(&p.0);
+                self.down.remove(&p.0);
+            }
+        }
+        let Reliable {
+            inner,
+            links,
+            suspects,
+            down,
+            ..
+        } = self;
+        let mut port: RelPort<'_, N> = RelPort {
+            outer: ctx.port,
+            links,
+            suspects,
+            down,
+            me: ctx.node,
+            watch: None,
+            watched_ack: None,
+        };
+        let mut ictx = Ctx::<N> {
+            port: &mut port,
+            node: ctx.node,
+        };
+        inner.on_fault(&mut ictx, notice);
+    }
+
+    fn crashed_reply(&self) -> Option<Self::Reply> {
+        self.inner.crashed_reply()
     }
 }
 
@@ -424,6 +786,8 @@ impl<N: NodeBehavior> NodeBehavior for Reliable<N> {
 struct RelPort<'a, N: NodeBehavior> {
     outer: &'a mut (dyn NetPort<RelMsg<N::Msg>, N::Reply> + 'a),
     links: &'a mut [LinkState<N::Msg>],
+    suspects: &'a BTreeSet<u32>,
+    down: &'a BTreeSet<u32>,
     me: NodeId,
     /// Peer whose inbound data we are currently processing (ack
     /// suppression: see `watched_ack`).
@@ -457,6 +821,9 @@ impl<'a, N: NodeBehavior> NetPort<N::Msg, N::Reply> for RelPort<'a, N> {
                 RelMsg::Data {
                     seq: 0,
                     ack: 0,
+                    sack: 0,
+                    epoch: 0,
+                    ack_epoch: 0,
                     payload: msg,
                 },
                 extra,
@@ -465,14 +832,45 @@ impl<'a, N: NodeBehavior> NetPort<N::Msg, N::Reply> for RelPort<'a, N> {
         }
         let now = self.outer.now();
         let link = &mut self.links[dst.index()];
+        if self.down.contains(&dst.0) {
+            // The kernel confirmed this peer crashed: an ack can never
+            // come back, so ship the frame once (the kernel drops and
+            // counts it) without consuming retransmit state. The link
+            // restarts in a fresh epoch at `PeerUp` anyway.
+            let seq = link.next_seq;
+            link.next_seq += 1;
+            self.outer.send_from(
+                src,
+                dst,
+                RelMsg::Data {
+                    seq,
+                    ack: link.delivered,
+                    sack: link.sack_bitmap(),
+                    epoch: link.epoch,
+                    ack_epoch: link.peer_epoch,
+                    payload: msg,
+                },
+                extra,
+            );
+            return;
+        }
         let seq = link.next_seq;
         link.next_seq += 1;
         let ack = link.delivered;
+        let sack = link.sack_bitmap();
+        let epoch = link.epoch;
+        let ack_epoch = link.peer_epoch;
         if link.outstanding.is_empty() {
             // First unacked frame on this link: its timeout starts now.
             link.deadline = now + link.rto;
         }
-        link.outstanding.push_back((seq, msg.clone()));
+        link.outstanding.push_back(Frame {
+            seq,
+            msg: msg.clone(),
+            sent: now,
+            rexmit: false,
+            sacked: false,
+        });
         if self.watch == Some(dst) {
             self.watched_ack = Some(ack);
         }
@@ -485,6 +883,9 @@ impl<'a, N: NodeBehavior> NetPort<N::Msg, N::Reply> for RelPort<'a, N> {
             RelMsg::Data {
                 seq,
                 ack,
+                sack,
+                epoch,
+                ack_epoch,
                 payload: msg,
             },
             extra,
@@ -517,6 +918,10 @@ impl<'a, N: NodeBehavior> NetPort<N::Msg, N::Reply> for RelPort<'a, N> {
 
     fn note_retransmit(&mut self, id: KindId, kind: &'static str) {
         self.outer.note_retransmit(id, kind);
+    }
+
+    fn is_suspect(&self, node: NodeId) -> bool {
+        self.suspects.contains(&node.0)
     }
 }
 
@@ -674,13 +1079,69 @@ mod tests {
             RelConfig::from_model(&CostModel::lan_1992(), 2),
         );
         assert!(node.describe().contains("rexmit-q empty"));
-        node.links[1].outstanding.push_back((1, AddMsg::Add(5)));
-        node.links[1].outstanding.push_back((2, AddMsg::Add(6)));
+        let f = |seq| Frame {
+            seq,
+            msg: AddMsg::Add(seq),
+            sent: SimTime::ZERO,
+            rexmit: false,
+            sacked: false,
+        };
+        node.links[1].outstanding.push_back(f(1));
+        node.links[1].outstanding.push_back(f(2));
         assert!(
             node.describe().contains("rexmit-q [n1:2]"),
             "{}",
             node.describe()
         );
+        node.suspects.insert(1);
+        assert!(
+            node.describe().contains("suspects [n1]"),
+            "{}",
+            node.describe()
+        );
+    }
+
+    #[test]
+    fn rtt_samples_tighten_the_rto() {
+        let model = CostModel::lan_1992();
+        let cfg = RelConfig::from_model(&model, 3);
+        let rto0 = cfg.rto_initial;
+        let mut node = Reliable::new(AddNode::default(), 3, cfg);
+        // One frame sent at t=0, acked 80µs later in the same epoch:
+        // rto becomes srtt + 4·rttvar = 80 + 4·40 = 240µs.
+        node.links[1].outstanding.push_back(Frame {
+            seq: 1,
+            msg: AddMsg::Add(1),
+            sent: SimTime::ZERO,
+            rexmit: false,
+            sacked: false,
+        });
+        node.process_ack(NodeId(1), 1, 0, 0, SimTime::ZERO + Dur::micros(80));
+        assert_eq!(node.srtt_nanos(NodeId(1)), Some(80_000));
+        let rto = node.links[1].rto;
+        assert_eq!(rto, Dur::micros(240));
+        assert!(rto < rto0, "measured RTO should beat the model guess");
+        // A retransmitted frame must not produce a sample (Karn).
+        node.links[1].outstanding.push_back(Frame {
+            seq: 2,
+            msg: AddMsg::Add(2),
+            sent: SimTime::ZERO,
+            rexmit: true,
+            sacked: false,
+        });
+        node.process_ack(NodeId(1), 2, 0, 0, SimTime::ZERO + Dur::millis(90));
+        assert_eq!(node.srtt_nanos(NodeId(1)), Some(80_000));
+    }
+
+    #[test]
+    fn sack_bitmap_marks_reorder_buffer_holes() {
+        let mut link: LinkState<AddMsg> = LinkState::new(Dur::micros(100));
+        link.delivered = 4; // next expected: 5
+        link.reorder.insert(6, AddMsg::Add(0));
+        link.reorder.insert(7, AddMsg::Add(0));
+        link.reorder.insert(9, AddMsg::Add(0));
+        // base = 6: bit0=seq6, bit1=seq7, bit3=seq9.
+        assert_eq!(link.sack_bitmap(), 0b1011);
     }
 
     #[test]

@@ -48,6 +48,14 @@ pub struct NetStats {
     dropped: [u64; MAX_KINDS],
     duplicated: [u64; MAX_KINDS],
     retransmits: [u64; MAX_KINDS],
+    /// Scheduled node crashes that fired.
+    pub crashes: u64,
+    /// Scheduled node recoveries that fired.
+    pub recoveries: u64,
+    /// Messages/timers discarded because their destination was down.
+    pub crash_dropped: u64,
+    /// Messages discarded by an active link partition.
+    pub partition_dropped: u64,
 }
 
 impl Default for NetStats {
@@ -58,6 +66,10 @@ impl Default for NetStats {
             dropped: [0; MAX_KINDS],
             duplicated: [0; MAX_KINDS],
             retransmits: [0; MAX_KINDS],
+            crashes: 0,
+            recoveries: 0,
+            crash_dropped: 0,
+            partition_dropped: 0,
         }
     }
 }
@@ -210,6 +222,10 @@ impl NetStats {
                 self.retransmits[i] += other.retransmits[i];
             }
         }
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
+        self.crash_dropped += other.crash_dropped;
+        self.partition_dropped += other.partition_dropped;
     }
 }
 
@@ -238,7 +254,15 @@ impl fmt::Display for NetStats {
                 self.total_dropped(),
                 self.total_duplicated(),
                 self.total_retransmits()
-            )
+            )?;
+            if self.crashes + self.recoveries + self.crash_dropped + self.partition_dropped > 0 {
+                write!(
+                    f,
+                    "\ncrashes={} recoveries={} crash_dropped={} partition_dropped={}",
+                    self.crashes, self.recoveries, self.crash_dropped, self.partition_dropped
+                )?;
+            }
+            Ok(())
         } else {
             writeln!(f, "{:<18} {:>10} {:>12}", "kind", "msgs", "bytes")?;
             for (kind, k) in self.iter() {
@@ -250,7 +274,15 @@ impl fmt::Display for NetStats {
                 "TOTAL",
                 self.total_msgs(),
                 self.total_bytes()
-            )
+            )?;
+            if self.crashes + self.recoveries + self.crash_dropped + self.partition_dropped > 0 {
+                write!(
+                    f,
+                    "\ncrashes={} recoveries={} crash_dropped={} partition_dropped={}",
+                    self.crashes, self.recoveries, self.crash_dropped, self.partition_dropped
+                )?;
+            }
+            Ok(())
         }
     }
 }

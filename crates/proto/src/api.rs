@@ -26,6 +26,12 @@ pub trait ProtoIo {
     fn send(&mut self, dst: NodeId, msg: ProtoMsg);
     /// The cost model in effect.
     fn model(&self) -> &CostModel;
+    /// Whether the transport's failure detector currently suspects
+    /// `node` of having failed (consecutive retransmission timeouts
+    /// with no ack). Always `false` on transports without a detector.
+    fn suspected(&self, _node: NodeId) -> bool {
+        false
+    }
 }
 
 /// Per-destination send coalescer: buffers every `send` and, on
@@ -86,6 +92,9 @@ impl ProtoIo for BatchingIo<'_> {
     }
     fn model(&self) -> &CostModel {
         self.inner.model()
+    }
+    fn suspected(&self, node: NodeId) -> bool {
+        self.inner.suspected(node)
     }
 }
 
@@ -312,5 +321,42 @@ pub trait Protocol: Send {
     /// its resident causal-metadata footprint here.
     fn gauges(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
+    }
+
+    // ---- fault hooks (crash/partition robustness) -----------------
+
+    /// This node just crashed: all volatile protocol state is gone.
+    /// Called *after* the runtime has reset the frame table; the
+    /// protocol must shed in-flight transaction state here (the default
+    /// is fine only for protocols that keep none). No messages may be
+    /// sent — the node is down.
+    fn on_crash(&mut self, _mem: &mut FrameTable) {}
+
+    /// This node just recovered from a crash with cold state. Protocols
+    /// that can rebuild (quorum re-sync, directory re-join) start that
+    /// here; protocols that cannot simply continue and rely on the
+    /// failure detector to flag the run.
+    fn on_recover(&mut self, _io: &mut dyn ProtoIo, _mem: &mut FrameTable) {}
+
+    /// The kernel announced that `peer` crashed (deterministic notice,
+    /// not a timeout-based suspicion). Replicated protocols drop the
+    /// peer from their live set and re-route pending quorums.
+    fn on_peer_down(
+        &mut self,
+        _io: &mut dyn ProtoIo,
+        _mem: &mut FrameTable,
+        _peer: NodeId,
+        _events: &mut Vec<ProtoEvent>,
+    ) {
+    }
+
+    /// The kernel announced that `peer` recovered.
+    fn on_peer_up(
+        &mut self,
+        _io: &mut dyn ProtoIo,
+        _mem: &mut FrameTable,
+        _peer: NodeId,
+        _events: &mut Vec<ProtoEvent>,
+    ) {
     }
 }

@@ -7,6 +7,7 @@ use crate::erc::Erc;
 use crate::ivy::{Ivy, ManagerScheme};
 use crate::lrc::Lrc;
 use crate::migrate::Migrate;
+use crate::scabd::Scabd;
 use crate::update::Update;
 use dsm_mem::SpaceLayout;
 use dsm_net::NodeId;
@@ -46,6 +47,12 @@ pub enum ProtocolKind {
     Lrc,
     /// Entry consistency (Midway). Requires lock↔data bindings.
     Entry,
+    /// SC-ABD quorum replication: every node replicates every page,
+    /// reads and writes run two-phase majority quorums, so the run
+    /// serves through the death of any minority of nodes. Not part of
+    /// [`ProtocolKind::ALL`] — it answers a different question
+    /// (fault tolerance) than the 1992 protocol comparison.
+    Scabd,
 }
 
 impl ProtocolKind {
@@ -72,6 +79,7 @@ impl ProtocolKind {
             ProtocolKind::Erc => "erc",
             ProtocolKind::Lrc => "lrc",
             ProtocolKind::Entry => "entry",
+            ProtocolKind::Scabd => "scabd",
         }
     }
 
@@ -87,6 +95,7 @@ impl ProtocolKind {
                 | ProtocolKind::IvyDynamic
                 | ProtocolKind::Migrate
                 | ProtocolKind::Update
+                | ProtocolKind::Scabd
         )
     }
 
@@ -121,6 +130,7 @@ impl ProtocolKind {
             ProtocolKind::Erc => Box::new(Erc::new(me, layout)),
             ProtocolKind::Lrc => Box::new(Lrc::with_gc(me, layout, opts.lrc_gc)),
             ProtocolKind::Entry => Box::new(Entry::new(me, layout, bindings)),
+            ProtocolKind::Scabd => Box::new(Scabd::new(me, layout)),
         }
     }
 }
@@ -146,9 +156,18 @@ mod tests {
     }
 
     #[test]
+    fn scabd_builds_outside_the_canonical_suite() {
+        let layout = SpaceLayout::new(PageGeometry::new(256), 1024, Placement::Cyclic, 3);
+        let p = ProtocolKind::Scabd.build(NodeId(0), layout, &[]);
+        assert_eq!(p.name(), "scabd");
+        assert!(!ProtocolKind::ALL.contains(&ProtocolKind::Scabd));
+    }
+
+    #[test]
     fn sc_classification() {
         assert!(ProtocolKind::IvyDynamic.sequentially_consistent());
         assert!(ProtocolKind::Update.sequentially_consistent());
+        assert!(ProtocolKind::Scabd.sequentially_consistent());
         assert!(!ProtocolKind::Lrc.sequentially_consistent());
         assert!(!ProtocolKind::Entry.sequentially_consistent());
     }

@@ -11,6 +11,7 @@
 //! | [`ProtocolKind::Erc`] | eager release consistency | twin/diff multiple writers, flush-on-release (Munin) |
 //! | [`ProtocolKind::Lrc`] | lazy release consistency | vector timestamps, intervals, write notices, lazy diffs (TreadMarks) |
 //! | [`ProtocolKind::Entry`] | entry consistency | data bound to locks, updates ride grants (Midway) |
+//! | [`ProtocolKind::Scabd`] | sequential consistency | majority-replicated pages, two-phase ABD quorums, serves through node death (SC-ABD) |
 //!
 //! Every protocol implements [`Protocol`]: faults and sync hooks in,
 //! [`ProtoMsg`] messages and [`ProtoEvent`]s out. The runtime in
@@ -24,6 +25,7 @@ mod kind;
 mod lrc;
 mod migrate;
 mod msg;
+mod scabd;
 mod update;
 
 pub use api::{BatchingIo, ProtoEvent, ProtoIo, Protocol, WriteOutcome, MAX_BATCH_DEPTH};
@@ -34,4 +36,5 @@ pub use kind::{ProtoOpts, ProtocolKind};
 pub use lrc::Lrc;
 pub use migrate::Migrate;
 pub use msg::{EntryUpdateLog, Piggy, ProtoMsg};
+pub use scabd::Scabd;
 pub use update::Update;

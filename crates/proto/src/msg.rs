@@ -173,6 +173,40 @@ pub enum ProtoMsg {
     /// release time.
     LrcFlushAck,
 
+    // ---- SC-ABD quorum replication ----
+    /// Quorum query (phase 1 of both reads and writes): coordinator →
+    /// replica, asking for the replica's current tag (and bytes) for
+    /// `page`. `txn` matches replies to the issuing phase. A `page` of
+    /// `usize::MAX` is a recovery re-sync request: the replica answers
+    /// with one [`ProtoMsg::ScabdR`] per page it holds plus a
+    /// `usize::MAX` terminator.
+    ScabdQ {
+        page: usize,
+        txn: u64,
+    },
+    /// Quorum update (phase 2): coordinator → replica, store `data`
+    /// under tag `(seq, writer)` if that tag is newer than what the
+    /// replica holds. Read write-backs reuse the queried tag; writes
+    /// carry `(max_seq + 1, me)`.
+    ScabdU {
+        page: usize,
+        txn: u64,
+        seq: u64,
+        writer: u32,
+        data: Box<[u8]>,
+    },
+    /// Replica → coordinator reply. With `data` it answers a
+    /// [`ProtoMsg::ScabdQ`] (the replica's tag + bytes, `data` absent
+    /// when the replica holds no copy); without it under a phase-2
+    /// `txn` it acknowledges a [`ProtoMsg::ScabdU`].
+    ScabdR {
+        page: usize,
+        txn: u64,
+        seq: u64,
+        writer: u32,
+        data: Option<Box<[u8]>>,
+    },
+
     // ---- multi-page envelope ----
     /// Several coherence messages for the same destination in one
     /// network message (batched fault pipeline). The envelope pays one
@@ -222,6 +256,9 @@ impl Payload for ProtoMsg {
                     .sum::<usize>()
             }
             LrcFlushAck => 8,
+            ScabdQ { .. } => 16,
+            ScabdU { data, .. } => 28 + data.len(),
+            ScabdR { data, .. } => 28 + data.as_ref().map_or(0, |d| d.len()),
             Batch(msgs) => msgs.iter().map(|m| m.wire_bytes()).sum(),
         }
     }
@@ -257,6 +294,9 @@ impl Payload for ProtoMsg {
             LrcPageRep { .. } => "LrcPageRep",
             LrcFlush { .. } => "LrcFlush",
             LrcFlushAck => "LrcFlushAck",
+            ScabdQ { .. } => "ScabdQ",
+            ScabdU { .. } => "ScabdU",
+            ScabdR { .. } => "ScabdR",
             Batch(..) => "Batch",
         }
     }
@@ -293,6 +333,9 @@ impl Payload for ProtoMsg {
             Batch(..) => 26,
             LrcFlush { .. } => 27,
             LrcFlushAck => 28,
+            ScabdQ { .. } => 29,
+            ScabdU { .. } => 30,
+            ScabdR { .. } => 31,
         })
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::msg::{BarrierId, SyncEnvelope, SyncIo, SyncMsg, SyncPiggy};
 use dsm_net::NodeId;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Barrier topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,12 +51,40 @@ impl<P> Default for PerBarrier<P> {
 }
 
 /// Per-node barrier engine (root is always node 0).
+///
+/// # Crash awareness (centralized barrier only)
+///
+/// The embedding runtime feeds `PeerDown`/`PeerUp` fault notices in via
+/// [`BarrierEngine::set_down`] / [`BarrierEngine::set_up`]. A
+/// *permanently* dead node is excluded from the expected-arrival set
+/// (it must not wedge the survivors); a transiently crashed node keeps
+/// being waited for — it will reboot and re-arrive, so every episode
+/// stays fully synchronized and crash+recover runs converge to the
+/// crash-free image by construction. A node that
+/// stays down across several episodes misses several releases, so the
+/// root keeps the set of every episode id it has released: when a node
+/// that has ever crashed re-arrives at a released, no-longer-open
+/// episode, it is re-released solo instead of opening a ghost episode
+/// that would wedge everyone. That replay rule is only sound when ids
+/// are never reused, so workloads that run under crash/recovery
+/// schedules must use a fresh barrier id per episode (e.g. the
+/// iteration number) — reusing one id for every iteration is still
+/// fine for crash-free runs, where the replay rule never arms.
 #[derive(Debug)]
 pub struct BarrierEngine<P> {
     kind: BarrierKind,
     me: NodeId,
     nnodes: u32,
     state: HashMap<BarrierId, PerBarrier<P>>,
+    /// Peers permanently dead, per the runtime's fault notices.
+    down: BTreeSet<u32>,
+    /// Root only: every episode id ever released. O(#episodes) — the
+    /// price of replaying arbitrarily many missed releases to a
+    /// recovered node.
+    released: BTreeSet<BarrierId>,
+    /// Nodes that have crashed at least once this run: only their
+    /// arrivals are eligible for the released-episode replay above.
+    crashed_ever: BTreeSet<u32>,
 }
 
 impl<P: SyncPiggy> BarrierEngine<P> {
@@ -69,11 +97,94 @@ impl<P: SyncPiggy> BarrierEngine<P> {
             me,
             nnodes,
             state: HashMap::new(),
+            down: BTreeSet::new(),
+            released: BTreeSet::new(),
+            crashed_ever: BTreeSet::new(),
         }
     }
 
     pub fn kind(&self) -> BarrierKind {
         self.kind
+    }
+
+    /// A peer crashed. Its releases may now be dropped, so remember it
+    /// for the re-release replay either way; but only a *permanent*
+    /// death excludes it from the expected-arrival set. A peer that
+    /// will reboot is merely late — waiting for it keeps every episode
+    /// fully synchronized, which is what makes a crash+recover run
+    /// converge to the crash-free image by construction rather than by
+    /// timing. May complete an open barrier at the root (permanent
+    /// case), hence the io/events pair.
+    pub fn set_down(
+        &mut self,
+        io: &mut dyn SyncIo<P>,
+        node: NodeId,
+        permanent: bool,
+        events: &mut Vec<BarrierEvent<P>>,
+    ) {
+        if let BarrierKind::Tree(_) = self.kind {
+            assert!(
+                self.nnodes == 1,
+                "crash fault schedules require the centralized barrier (got a combining tree)"
+            );
+        }
+        self.crashed_ever.insert(node.0);
+        if !permanent {
+            return;
+        }
+        self.down.insert(node.0);
+        // A barrier that was only waiting on the dead node is now
+        // complete. Deterministic order: sorted open ids.
+        let mut ids: Vec<BarrierId> = self.state.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.maybe_propagate(io, id, events);
+        }
+    }
+
+    /// A crashed peer recovered: expect its arrivals again.
+    ///
+    /// If the recovered peer is the centralized *root*, this node
+    /// re-offers every arrival it is still waiting on — the original
+    /// arrival messages may have been dropped while the root was down.
+    /// Re-offers carry an empty piggyback, which is only sound for
+    /// protocols whose barrier piggyback is empty; crash schedules are
+    /// restricted to those (see docs/FAULTS.md).
+    pub fn set_up(&mut self, io: &mut dyn SyncIo<P>, node: NodeId) {
+        self.down.remove(&node.0);
+        if self.kind == BarrierKind::Central && node == NodeId(0) && self.me != NodeId(0) {
+            let mut ids: Vec<BarrierId> = self
+                .state
+                .iter()
+                .filter(|(_, s)| s.arrived_self)
+                .map(|(id, _)| *id)
+                .collect();
+            ids.sort_unstable();
+            for id in ids {
+                io.send(
+                    NodeId(0),
+                    SyncMsg::BarArrive {
+                        id,
+                        contributions: vec![SyncEnvelope::new(self.me, P::empty())],
+                    },
+                );
+            }
+        }
+    }
+
+    /// This node crashed: its *client-side* barrier state (which
+    /// episodes it has arrived at) is volatile and dies with it, so a
+    /// re-driven barrier op can cleanly re-arrive after recovery. The
+    /// *service* state — contributions gathered from other nodes and
+    /// the root's release ledger — is modeled as surviving the crash
+    /// (a fault-tolerant sync service), so only this node's own
+    /// arrival marks and contributions are scrubbed.
+    pub fn crashed(&mut self) {
+        let me = self.me;
+        for s in self.state.values_mut() {
+            s.arrived_self = false;
+            s.gathered.retain(|e| e.node != me);
+        }
     }
 
     fn parent(&self, node: NodeId) -> Option<NodeId> {
@@ -152,6 +263,10 @@ impl<P: SyncPiggy> BarrierEngine<P> {
     ) {
         assert_eq!(self.me, NodeId(0), "only the root releases");
         assert_eq!(releases.len() as u32, self.nnodes, "one release per node");
+        // Remember the episode: a recovered node whose releases died
+        // with it (or were dropped while it was down) re-arrives at
+        // each missed id and is re-released solo.
+        self.released.insert(id);
         // Partition by child subtree; keep our own.
         for child in self.children(NodeId(0)) {
             let members = self.subtree_members(child);
@@ -187,9 +302,39 @@ impl<P: SyncPiggy> BarrierEngine<P> {
     ) {
         match msg {
             SyncMsg::BarArrive { id, contributions } => {
-                let s = self.state.entry(id).or_default();
-                s.gathered.extend(contributions);
-                self.maybe_propagate(io, id, events);
+                for env in contributions {
+                    // Arrival from a node that has crashed at some
+                    // point, for an episode we already released and
+                    // closed: it never saw that release (it died with
+                    // the node, or was dropped while it was down).
+                    // Re-release it solo instead of opening a ghost
+                    // episode that would wedge everyone. Sound only
+                    // because crash runs never reuse barrier ids.
+                    if self.crashed_ever.contains(&env.node.0)
+                        && !self.state.contains_key(&id)
+                        && self.released.contains(&id)
+                    {
+                        io.send(
+                            env.node,
+                            SyncMsg::BarRelease {
+                                id,
+                                releases: vec![SyncEnvelope::new(env.node, P::empty())],
+                            },
+                        );
+                        continue;
+                    }
+                    let s = self.state.entry(id).or_default();
+                    match s.gathered.iter_mut().find(|e| e.node == env.node) {
+                        // A node that arrived, crashed, recovered and
+                        // re-arrived at the still-open episode: replace
+                        // its stale contribution.
+                        Some(slot) => *slot = env,
+                        None => s.gathered.push(env),
+                    }
+                }
+                if self.state.contains_key(&id) {
+                    self.maybe_propagate(io, id, events);
+                }
             }
             SyncMsg::BarRelease { id, mut releases } => {
                 // Extract our own payload; forward the rest down the tree.
@@ -245,12 +390,30 @@ impl<P: SyncPiggy> BarrierEngine<P> {
         events: &mut Vec<BarrierEvent<P>>,
     ) {
         let me = self.me;
-        let expected = self.subtree_size(me) as usize;
-        let s = self.state.get_mut(&id).expect("state exists");
-        if s.gathered.len() < expected || !s.arrived_self {
+        let complete = {
+            let s = self.state.get(&id).expect("state exists");
+            if !s.arrived_self {
+                return;
+            }
+            if me == NodeId(0) && self.kind == BarrierKind::Central && !self.down.is_empty() {
+                // Crash-aware root: every node must either have arrived
+                // (possibly before crashing) or be down right now.
+                (0..self.nnodes)
+                    .all(|n| self.down.contains(&n) || s.gathered.iter().any(|e| e.node.0 == n))
+            } else {
+                let expected = self.subtree_size(me) as usize;
+                if s.gathered.len() >= expected {
+                    debug_assert_eq!(s.gathered.len(), expected);
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if !complete {
             return;
         }
-        debug_assert_eq!(s.gathered.len(), expected);
+        let s = self.state.get_mut(&id).expect("state exists");
         let contributions = std::mem::take(&mut s.gathered);
         match self.parent(me) {
             None => events.push(BarrierEvent::AllArrived { id, contributions }),
